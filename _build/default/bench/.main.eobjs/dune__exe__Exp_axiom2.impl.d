@@ -1,0 +1,1 @@
+bench/exp_axiom2.ml: Explore Hwf_adversary Hwf_sim Hwf_workload Layout Printf Render Scenarios Tbl

@@ -1,0 +1,1 @@
+bench/exp_complexity.ml: Array Bounds Eff Engine Fun Hwf_core Hwf_sim Hwf_workload Layout List Multi_consensus Policy Tbl

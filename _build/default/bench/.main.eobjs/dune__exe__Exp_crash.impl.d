@@ -1,0 +1,1 @@
+bench/exp_crash.ml: Array Crash Eff Engine Fun Hwf_adversary Hwf_core Hwf_sim Hwf_workload Layout List Multi_consensus Policy Printf Tbl Wellformed

@@ -1,0 +1,1 @@
+bench/exp_dynamic.ml: Array Config Eff Engine Fun Hwf_core Hwf_sim List Policy Printf Proc Random Renaming Tbl Uni_consensus Wellformed

@@ -1,0 +1,1 @@
+bench/exp_fair.ml: Array Eff Engine Fair_consensus Fun Hwf_core Hwf_sim Hwf_workload Layout List Policy Tbl

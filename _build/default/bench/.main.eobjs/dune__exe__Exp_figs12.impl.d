@@ -1,0 +1,1 @@
+bench/exp_figs12.ml: Array Config Eff Engine Hwf_sim List Policy Printf Proc Render Shared Tbl Wellformed

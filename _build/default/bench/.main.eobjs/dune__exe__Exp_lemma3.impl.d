@@ -1,0 +1,1 @@
+bench/exp_lemma3.ml: Bounds Fun Hwf_core Hwf_workload Layout List Printf Scenarios Tbl

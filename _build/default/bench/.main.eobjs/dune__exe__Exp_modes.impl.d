@@ -1,0 +1,1 @@
+bench/exp_modes.ml: Explore Hwf_adversary Hwf_workload Layout List Scenarios Tbl

@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Bounds Fun Hwf_core Hwf_sim Hwf_workload Layout List Option Printf Scenarios Tbl

@@ -1,0 +1,1 @@
+bench/exp_thm1.ml: Explore Hwf_adversary Hwf_sim Hwf_workload List Printf Scenarios Tbl

@@ -1,0 +1,1 @@
+bench/exp_thm2.ml: Eff Engine Explore Hwf_adversary Hwf_core Hwf_sim Hwf_workload Hybrid_cas Layout List Policy Scenarios Tbl

@@ -1,0 +1,1 @@
+bench/exp_thm3.ml: Bivalence Fun Hwf_adversary Hwf_workload Layout List Printf Scenarios Tbl

@@ -1,0 +1,1 @@
+bench/exp_thm4.ml: Bounds Explore Fun Hwf_adversary Hwf_core Hwf_sim Hwf_workload Layout List Scenarios String Tbl

@@ -1,0 +1,1 @@
+bench/exp_time.ml: Array Config Engine Hwf_adversary Hwf_sim Hwf_workload Layout List Policy Printf Scenarios Tbl

@@ -1,0 +1,1 @@
+bench/tbl.ml: List Printf String

@@ -1,0 +1,35 @@
+(* Bechamel wrapper: run staged thunks and print ns/run (OLS estimate on
+   the monotonic clock). *)
+open Bechamel
+open Toolkit
+
+let run_tests ~title tests =
+  let test = Test.make_grouped ~name:title ~fmt:"%s/%s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> Printf.sprintf "%.0f" t
+          | Some [] | None -> "n/a"
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols with
+          | Some r -> Printf.sprintf "%.4f" r
+          | None -> "n/a"
+        in
+        [ name; est; r2 ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Tbl.print ~title:(title ^ " (wall-clock of the simulated run)")
+    ~header:[ "benchmark"; "ns/run"; "r^2" ] rows
+
+let staged name f = Test.make ~name (Staged.stage f)

@@ -1,0 +1,106 @@
+(* E1 — Table 1: conditions under which an object with consensus number C
+   is universal on P processors, as a function of the quantum Q.
+
+   For each (P, C) row we report:
+   - the paper's universality threshold c(2P+1-C) with the constant c
+     measured for this implementation (statements per level),
+   - the smallest Q in a candidate ladder at which the Fig. 7 algorithm
+     survives every trial of the adversary battery,
+   - the paper's impossibility threshold 2P-C,
+   - the largest Q at which an adversarial trial forced a violation
+     (exhausted C-consensus object, disagreement, or invalid value). *)
+
+open Hwf_core
+open Hwf_workload
+
+let trial ~quantum ~consensus_number ~layout ~policy =
+  Scenarios.run_multi ~step_limit:8_000_000 ~quantum ~consensus_number ~layout
+    ~policy:(policy ()) ()
+
+let survives_all ~quantum ~consensus_number ~layout ~seeds =
+  List.for_all
+    (fun policy ->
+      not (Scenarios.violation (trial ~quantum ~consensus_number ~layout ~policy)))
+    (Scenarios.adversarial_policies ~seeds ~var_prefix:"mc.Cons")
+
+(* Statements per level in an undisturbed run: the implementation's c. *)
+let measured_c ~consensus_number ~layout =
+  let s =
+    Scenarios.run_multi ~step_limit:8_000_000 ~quantum:1_000_000 ~consensus_number
+      ~layout
+      ~policy:(Hwf_sim.Policy.round_robin ())
+      ()
+  in
+  if s.levels = 0 then 0 else (s.max_own_steps + s.levels - 1) / s.levels
+
+let ladder = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 ]
+
+let run ~quick =
+  Tbl.section "E1: Table 1 — universality vs (C, P, Q)";
+  let ps = if quick then [ 2 ] else [ 2; 3 ] in
+  let seeds = List.init (if quick then 12 else 40) Fun.id in
+  List.iter
+    (fun p ->
+      let layout = Layout.uniform ~processors:p ~per_processor:4 in
+      let rows =
+        List.map
+          (fun consensus_number ->
+            let c = measured_c ~consensus_number ~layout in
+            let theory_upper =
+              match Bounds.universal_quantum ~c ~p ~consensus_number with
+              | Some q -> q
+              | None -> -1
+            in
+            let theory_lower =
+              Option.value ~default:(-1)
+                (Bounds.impossibility_quantum ~p ~consensus_number)
+            in
+            let verdicts =
+              List.map
+                (fun quantum ->
+                  (quantum, survives_all ~quantum ~consensus_number ~layout ~seeds))
+                ladder
+            in
+            let smallest_safe =
+              (* smallest ladder point from which every larger one passes *)
+              let rec from = function
+                | [] -> None
+                | (q, ok) :: rest ->
+                  if ok && List.for_all snd rest then Some q else from rest
+              in
+              from verdicts
+            in
+            let largest_broken =
+              List.filter (fun (_, ok) -> not ok) verdicts
+              |> List.fold_left (fun acc (q, _) -> max acc q) (-1)
+            in
+            [
+              string_of_int consensus_number;
+              string_of_int c;
+              string_of_int theory_upper;
+              (match smallest_safe with Some q -> string_of_int q | None -> ">max");
+              string_of_int theory_lower;
+              (if largest_broken < 0 then "none" else string_of_int largest_broken);
+            ])
+          (List.init (p + 1) (fun i -> p + i))
+      in
+      Tbl.print
+        ~title:(Printf.sprintf "Table 1 reproduction, P = %d (M = 4)" p)
+        ~header:
+          [
+            "C";
+            "measured c";
+            "universal if Q >= c(2P+1-C)";
+            "smallest safe Q (measured)";
+            "not universal if Q <= 2P-C";
+            "largest broken Q (measured)";
+          ]
+        rows;
+      Tbl.note
+        "shape check: violations (exhausted C-consensus objects — the\n\
+         Theorem 3 mechanism) appear only at small quanta and vanish as Q\n\
+         grows; the theoretical thresholds bracket the measured boundary\n\
+         (the upper one is sufficient, not necessary, so the measured safe\n\
+         point sits at or below it; the region between 2P-C and c(2P+1-C)\n\
+         is not covered by either guarantee).")
+    ps

@@ -1,0 +1,54 @@
+(* E3 — Theorem 1 (Fig. 3): read/write consensus on a hybrid
+   uniprocessor is correct iff the quantum is large enough. *)
+
+open Hwf_adversary
+open Hwf_workload
+
+let fig3 ~quantum ~pris =
+  Scenarios.consensus ~name:"fig3" ~impl:Scenarios.Fig3 ~quantum
+    ~layout:(List.map (fun p -> (0, p)) pris)
+
+let verdict_row ~label ~pris ~quantum ~pb ~max_runs =
+  let b = fig3 ~quantum ~pris in
+  let o =
+    match pb with
+    | None -> Explore.explore ~max_runs b.scenario
+    | Some preemption_bound -> Explore.explore ~preemption_bound ~max_runs b.scenario
+  in
+  [
+    label;
+    string_of_int quantum;
+    string_of_int o.runs;
+    (if o.exhaustive then "yes" else "no");
+    (match o.counterexample with None -> "agreement holds" | Some c -> c.message);
+  ]
+
+let run ~quick =
+  Tbl.section "E3: Theorem 1 — Fig. 3 uniprocessor consensus";
+  let max_runs = if quick then 300_000 else 2_000_000 in
+  let rows =
+    [
+      verdict_row ~label:"2 procs, equal pri" ~pris:[ 1; 1 ] ~quantum:8 ~pb:None ~max_runs;
+      verdict_row ~label:"2 procs, pri 1/2" ~pris:[ 1; 2 ] ~quantum:8 ~pb:None ~max_runs;
+      verdict_row ~label:"3 procs, equal pri" ~pris:[ 1; 1; 1 ] ~quantum:8 ~pb:(Some 4)
+        ~max_runs;
+      verdict_row ~label:"3 procs, pri 1/2/3" ~pris:[ 1; 2; 3 ] ~quantum:8 ~pb:(Some 4)
+        ~max_runs;
+      verdict_row ~label:"2 procs, equal pri" ~pris:[ 1; 1 ] ~quantum:4 ~pb:None ~max_runs;
+      verdict_row ~label:"2 procs, equal pri" ~pris:[ 1; 1 ] ~quantum:2 ~pb:None ~max_runs;
+      verdict_row ~label:"2 procs, equal pri" ~pris:[ 1; 1 ] ~quantum:1 ~pb:None ~max_runs;
+    ]
+  in
+  Tbl.print ~title:"model-checked verdicts (schedule exploration)"
+    ~header:[ "configuration"; "Q"; "schedules"; "exhaustive"; "verdict" ]
+    rows;
+  (* Show one violating interleaving, Fig. 4 style. *)
+  let b = fig3 ~quantum:1 ~pris:[ 1; 1 ] in
+  (match (Explore.explore b.scenario).counterexample with
+  | Some c ->
+    Printf.printf "\nsample violating schedule at Q=1 (the Fig. 4 situation):\n%s"
+      (Hwf_sim.Render.lanes c.trace)
+  | None -> Tbl.note "unexpected: no counterexample found at Q=1");
+  Tbl.note
+    "Theorem 1 claims correctness at Q >= 8 = the unrolled statement count\n\
+     of decide(); every decide() costs exactly 8 own statements (O(1))."

@@ -1,0 +1,93 @@
+(* E6 — Theorem 3 (Figs. 6/10): below Q = 2P - C the adversary can drive
+   more than C distinct processes into a C-consensus object (bottom
+   returns), and bivalence persists. Two measurements:
+
+   (a) violation pressure vs Q on the Fig. 7 algorithm: fraction of
+       adversarial runs with an exhausted object / disagreement;
+   (b) the bivalence horizon of the Fig. 3 algorithm vs Q (the
+       uniprocessor instance of the same valency phenomenon). *)
+
+open Hwf_adversary
+open Hwf_workload
+
+let pressure ~quantum ~consensus_number ~layout ~seeds =
+  let policies = Scenarios.adversarial_policies ~seeds ~var_prefix:"mc.Cons" in
+  let total = List.length policies in
+  let exhausted = ref 0 and disagreed = ref 0 in
+  List.iter
+    (fun policy ->
+      let s =
+        Scenarios.run_multi ~step_limit:8_000_000 ~quantum ~consensus_number ~layout
+          ~policy:(policy ()) ()
+      in
+      if s.exhausted > 0 then incr exhausted;
+      if not (s.agreed && s.valid) then incr disagreed)
+    policies;
+  (total, !exhausted, !disagreed)
+
+let run ~quick =
+  Tbl.section "E6: Theorem 3 — lower bound on the quantum";
+  let p = 2 and consensus_number = 2 in
+  let threshold = 2 * p - consensus_number in
+  let layout = Layout.uniform ~processors:p ~per_processor:4 in
+  let seeds = List.init (if quick then 25 else 120) Fun.id in
+  let rows =
+    List.map
+      (fun quantum ->
+        let total, exhausted, disagreed =
+          pressure ~quantum ~consensus_number ~layout ~seeds
+        in
+        [
+          string_of_int quantum;
+          (if quantum <= threshold then "impossible" else "(above)");
+          Printf.sprintf "%d/%d" exhausted total;
+          Printf.sprintf "%d/%d" disagreed total;
+        ])
+      [ 1; 2; 3; 4; 8; 64; 512; 4096 ]
+  in
+  Tbl.print
+    ~title:
+      (Printf.sprintf
+         "adversarial pressure on Fig. 7 (P=%d, C=%d, threshold 2P-C=%d)" p
+         consensus_number threshold)
+    ~header:[ "Q"; "Table 1 region"; "runs with exhausted object"; "runs with bad value" ]
+    rows;
+  Tbl.note
+    "an 'exhausted object' run is one where more than C = %d distinct\n\
+     processes invoked one C-consensus object — exactly the mechanism the\n\
+     valency proof uses (Fig. 6: 2P-Q processes reach object O). Pressure\n\
+     is strongest in the impossible region; occasional hits just above it\n\
+     are expected (between 2P-C and the Theorem 4 threshold neither\n\
+     guarantee applies to this particular algorithm) and all pressure\n\
+     vanishes once Q clears c(2P+1-C)."
+    consensus_number;
+  (* (b) bivalence horizon for the uniprocessor algorithm *)
+  let max_runs = if quick then 60_000 else 400_000 in
+  let rows =
+    List.map
+      (fun quantum ->
+        let b =
+          Scenarios.consensus ~name:"f3" ~impl:Scenarios.Fig3 ~quantum
+            ~layout:[ (0, 1); (0, 1) ]
+        in
+        let pr =
+          Bivalence.probe ~max_runs ~scenario:b.scenario ~decision:b.last_decision ()
+        in
+        [
+          string_of_int quantum;
+          string_of_int (List.length pr.decisions);
+          string_of_int pr.horizon;
+          string_of_int pr.deepest_run;
+          string_of_int pr.runs;
+        ])
+      [ 1; 2; 4; 6; 8 ]
+  in
+  Tbl.print
+    ~title:"bivalence horizon of Fig. 3 vs quantum (2 processes)"
+    ~header:[ "Q"; "reachable decisions"; "bivalence horizon"; "run length"; "schedules" ]
+    rows;
+  Tbl.note
+    "below the safe quantum the adversary can keep the execution bivalent\n\
+     deep into the run (and at Q=1 actually force disagreement, see E3);\n\
+     at Q=8 bivalence dies out early: the machine-checked shadow of the\n\
+     paper's infinite bivalent history."

@@ -1,0 +1,118 @@
+(* Benchmark and experiment harness: one entry per paper table/figure
+   (see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
+   recorded results), plus a bechamel timing suite for the core
+   operations.
+
+   Usage:
+     dune exec bench/main.exe                 -- all experiments, quick
+     dune exec bench/main.exe -- --full       -- larger trial counts
+     dune exec bench/main.exe -- table1 thm3  -- selected experiments
+     dune exec bench/main.exe -- timing       -- bechamel suite only
+     dune exec bench/main.exe -- --csv ...    -- tables as CSV blocks *)
+
+open Hwf_sim
+open Hwf_workload
+
+let experiments : (string * string * (quick:bool -> unit)) list =
+  [
+    ("table1", "E1: Table 1 universality thresholds", Exp_table1.run);
+    ("figs12", "E2: Figs 1-2 interleaving diagrams", Exp_figs12.run);
+    ("thm1", "E3: Theorem 1 (Fig 3 uniprocessor consensus)", Exp_thm1.run);
+    ("thm2", "E4: Theorem 2 (Fig 5 hybrid C&S, O(V))", Exp_thm2.run);
+    ("thm4", "E5: Theorem 4 (Fig 7/8 multiprocessor consensus)", Exp_thm4.run);
+    ("thm3", "E6: Theorem 3 lower bound (Figs 6/10)", Exp_thm3.run);
+    ("lemma3", "E7: Lemmas 2/3 access-failure accounting", Exp_lemma3.run);
+    ("fair", "E8: Fig 9 fair scheduling", Exp_fair.run);
+    ("complexity", "E9: polynomial vs exponential baseline", Exp_complexity.run);
+    ("universal", "E10: universal construction objects", Exp_universal.run);
+    ("axiom2", "E11: necessity of Axiom 2", Exp_axiom2.run);
+    ("modes", "E12: pure-priority / pure-quantum modes", Exp_modes.run);
+    ("dynamic", "E13: dynamic priorities and renaming (Sec 5)", Exp_dynamic.run);
+    ("time", "E14: the time model (Tmax/Tmin of Table 1)", Exp_time.run);
+    ("crash", "E15: halting failures / wait-freedom", Exp_crash.run);
+  ]
+
+(* Bechamel micro-benchmarks: wall-clock cost of simulated operations. *)
+let timing () =
+  let uni_consensus () =
+    let config = Layout.to_config ~quantum:8 [ (0, 1); (0, 1) ] in
+    let obj = Hwf_core.Uni_consensus.make "c" in
+    let bodies =
+      Array.init 2 (fun pid () ->
+          Eff.invocation "d" (fun () -> ignore (Hwf_core.Uni_consensus.decide obj pid)))
+    in
+    ignore (Engine.run ~config ~policy:Policy.first bodies)
+  in
+  let q_cas () =
+    let config = Layout.to_config ~quantum:64 [ (0, 1); (0, 1) ] in
+    let obj = Hwf_core.Q_cas.make "x" 0 in
+    let bodies =
+      Array.init 2 (fun pid () ->
+          Eff.invocation "cas" (fun () ->
+              ignore (Hwf_core.Q_cas.cas obj ~who:pid ~expected:0 ~desired:pid)))
+    in
+    ignore (Engine.run ~config ~policy:(Policy.random ~seed:1) bodies)
+  in
+  let hybrid_cas v () =
+    let layout = List.init v (fun i -> (0, i + 1)) in
+    let config = Layout.to_config ~quantum:600 layout in
+    let obj = Hwf_core.Hybrid_cas.make ~config ~name:"o" ~init:0 in
+    let bodies =
+      Array.init v (fun pid () ->
+          Eff.invocation "cas" (fun () ->
+              ignore (Hwf_core.Hybrid_cas.cas obj ~pid ~expected:0 ~desired:pid)))
+    in
+    ignore (Engine.run ~config ~policy:(Policy.random ~seed:2) bodies)
+  in
+  let multi_consensus () =
+    let layout = Layout.uniform ~processors:2 ~per_processor:2 in
+    let config = Layout.to_config ~quantum:4000 layout in
+    let obj = Hwf_core.Multi_consensus.make ~config ~name:"mc" ~consensus_number:2 () in
+    let bodies =
+      Array.init 4 (fun pid () ->
+          Eff.invocation "d" (fun () ->
+              ignore (Hwf_core.Multi_consensus.decide obj ~pid pid)))
+    in
+    ignore (Engine.run ~step_limit:8_000_000 ~config ~policy:(Policy.random ~seed:3) bodies)
+  in
+  let universal_counter () =
+    let layout = [ (0, 1); (0, 1); (0, 2) ] in
+    let config = Layout.to_config ~quantum:3000 layout in
+    let c =
+      Hwf_core.Wf_objects.counter ~name:"c" ~n:3
+        ~factory:(Hwf_core.Wf_objects.uni_factory ())
+    in
+    let bodies =
+      Array.init 3 (fun pid () ->
+          Eff.invocation "i" (fun () -> ignore (Hwf_core.Wf_objects.incr c ~pid)))
+    in
+    ignore (Engine.run ~step_limit:4_000_000 ~config ~policy:(Policy.random ~seed:4) bodies)
+  in
+  Bech.run_tests ~title:"core operations"
+    [
+      Bech.staged "fig3-consensus-2p" uni_consensus;
+      Bech.staged "q-cas-2p" q_cas;
+      Bech.staged "fig5-cas-v1" (hybrid_cas 1);
+      Bech.staged "fig5-cas-v4" (hybrid_cas 4);
+      Bech.staged "fig7-consensus-p2c2" multi_consensus;
+      Bech.staged "universal-counter-3p" universal_counter;
+    ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  Tbl.csv_mode := List.mem "--csv" args;
+  let quick = not full in
+  let selected = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let want name = selected = [] || List.mem name selected in
+  Printf.printf
+    "hybridwf experiment harness (%s mode)\nPaper: Anderson & Moir, PODC 1999\n"
+    (if quick then "quick" else "full");
+  List.iter
+    (fun (name, _desc, run) -> if want name && name <> "timing" then run ~quick)
+    experiments;
+  if selected = [] || List.mem "timing" selected then begin
+    Tbl.section "timing (bechamel)";
+    timing ()
+  end;
+  Printf.printf "\nAll selected experiments completed.\n"

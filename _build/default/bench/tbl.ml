@@ -1,0 +1,47 @@
+(* Minimal ASCII table printing for the experiment reports. With
+   [csv_mode] set (bench --csv), tables are emitted as CSV blocks instead
+   so plots can be regenerated from the harness output directly. *)
+
+let csv_mode = ref false
+
+let csv_escape c =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let hr widths =
+  let line = List.map (fun w -> String.make (w + 2) '-') widths in
+  Printf.printf "+%s+\n" (String.concat "+" line)
+
+let row widths cells =
+  let padded =
+    List.map2 (fun w c -> Printf.sprintf " %-*s " w c) widths cells
+  in
+  Printf.printf "|%s|\n" (String.concat "|" padded)
+
+let print_ascii ~title ~header rows =
+  Printf.printf "\n== %s ==\n" title;
+  let all = header :: rows in
+  let ncols = List.length header in
+  let widths =
+    List.init ncols (fun i ->
+        List.fold_left (fun acc r -> max acc (String.length (List.nth r i))) 0 all)
+  in
+  hr widths;
+  row widths header;
+  hr widths;
+  List.iter (row widths) rows;
+  hr widths
+
+let print ~title ~header rows =
+  if !csv_mode then begin
+    Printf.printf "\n# %s\n" title;
+    List.iter
+      (fun r -> print_endline (String.concat "," (List.map csv_escape r)))
+      (header :: rows)
+  end
+  else print_ascii ~title ~header rows
+
+let section name = Printf.printf "\n######## %s ########\n" name
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt

@@ -1,0 +1,406 @@
+(* hybridsim — command-line driver for the hybrid-scheduling wait-free
+   synchronization library (Anderson & Moir, PODC 1999 reproduction).
+
+   Subcommands expose the simulator directly: run a consensus algorithm
+   once under a chosen scheduler and render the interleaving, model-check
+   a scenario, probe bivalence, linearizability-test the Fig. 5 C&S, or
+   print the Table 1 thresholds. The full experiment suite lives in
+   `dune exec bench/main.exe`. *)
+
+open Cmdliner
+open Hwf_sim
+open Hwf_adversary
+open Hwf_workload
+
+(* ---- shared argument parsing ---- *)
+
+let layout_conv =
+  let parse s =
+    try
+      let entries = String.split_on_char ',' s in
+      let layout =
+        List.map
+          (fun e ->
+            match String.split_on_char ':' (String.trim e) with
+            | [ cpu; pri ] -> (int_of_string cpu, int_of_string pri)
+            | _ -> failwith "bad entry")
+          entries
+      in
+      if layout = [] then failwith "empty layout";
+      Ok layout
+    with _ ->
+      Error (`Msg (Printf.sprintf "cannot parse layout %S (expected cpu:pri,cpu:pri,...)" s))
+  in
+  let print ppf l = Fmt.pf ppf "%a" Layout.pp l in
+  Arg.conv (parse, print)
+
+let layout_arg =
+  let doc =
+    "Process placement, comma-separated cpu:priority pairs (0-based cpus, \
+     1-based priorities), e.g. 0:1,0:1,1:2."
+  in
+  Arg.(
+    value
+    & opt layout_conv [ (0, 1); (0, 1) ]
+    & info [ "l"; "layout" ] ~docv:"LAYOUT" ~doc)
+
+let quantum_arg =
+  let doc = "Scheduling quantum, in atomic statements." in
+  Arg.(value & opt int 8 & info [ "q"; "quantum" ] ~docv:"Q" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for randomized schedulers." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let policy_arg =
+  let doc = "Scheduling policy: random, rr (round-robin), first, stagger." in
+  Arg.(
+    value
+    & opt (enum [ ("random", `Random); ("rr", `Rr); ("first", `First); ("stagger", `Stagger) ]) `Random
+    & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
+
+let make_policy policy seed =
+  match policy with
+  | `Random -> Policy.random ~seed
+  | `Rr -> Policy.round_robin ()
+  | `First -> Policy.first
+  | `Stagger -> Stagger.max_interleave ()
+
+let impl_arg =
+  let doc = "Consensus implementation: fig3 (uniprocessor), fig7, fig9 (fair)." in
+  Arg.(
+    value
+    & opt (enum [ ("fig3", `Fig3); ("fig7", `Fig7); ("fig9", `Fig9) ]) `Fig3
+    & info [ "i"; "impl" ] ~docv:"IMPL" ~doc)
+
+let cnum_arg =
+  let doc = "Consensus number C of the base objects (fig7/fig9)." in
+  Arg.(value & opt int 2 & info [ "c"; "consensus-number" ] ~docv:"C" ~doc)
+
+let render_arg =
+  let doc = "Render the interleaving diagram of the run." in
+  Arg.(value & flag & info [ "r"; "render" ] ~doc)
+
+let scenario_of impl cnum quantum layout =
+  let impl =
+    match impl with
+    | `Fig3 -> Scenarios.Fig3
+    | `Fig7 -> Scenarios.Fig7 { consensus_number = cnum }
+    | `Fig9 -> Scenarios.Fig9 { consensus_number = cnum }
+  in
+  Scenarios.consensus ~name:"cli" ~impl ~quantum ~layout
+
+(* ---- run: one consensus execution ---- *)
+
+let run_cmd =
+  let action impl cnum quantum layout policy seed render =
+    let b = scenario_of impl cnum quantum layout in
+    let instance = b.Scenarios.scenario.Explore.make () in
+    let r =
+      Engine.run ~step_limit:20_000_000 ~config:b.Scenarios.scenario.Explore.config
+        ~policy:(make_policy policy seed) instance.Explore.programs
+    in
+    let wf = Wellformed.check r.trace in
+    Fmt.pr "finished: %b@." (Array.for_all Fun.id r.finished);
+    Fmt.pr "statements: %d@." (Trace.statements r.trace);
+    Fmt.pr "well-formed: %b@."
+      (wf = []);
+    List.iter (fun v -> Fmt.pr "  %a@." Wellformed.pp_violation v) wf;
+    let outs = b.Scenarios.last_outputs () in
+    Array.iteri
+      (fun pid o ->
+        Fmt.pr "p%d decided: %s@." (pid + 1)
+          (match o with Some v -> string_of_int v | None -> "-"))
+      outs;
+    (match b.Scenarios.last_decision () with
+    | Some v -> Fmt.pr "consensus: %d@." v
+    | None -> Fmt.pr "consensus: DISAGREEMENT OR INCOMPLETE@.");
+    if render then Fmt.pr "@.%s@." (Render.lanes r.trace);
+    if b.Scenarios.last_decision () = None then exit 1
+  in
+  let term =
+    Term.(
+      const action $ impl_arg $ cnum_arg $ quantum_arg $ layout_arg $ policy_arg
+      $ seed_arg $ render_arg)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a consensus algorithm once and report the decision.")
+    term
+
+(* ---- explore: model checking ---- *)
+
+let explore_cmd =
+  let pb_arg =
+    let doc = "Preemption bound (context bound); omit for unbounded." in
+    Arg.(value & opt (some int) None & info [ "b"; "preemption-bound" ] ~docv:"N" ~doc)
+  in
+  let max_runs_arg =
+    let doc = "Maximum schedules to explore." in
+    Arg.(value & opt int 200_000 & info [ "max-runs" ] ~docv:"N" ~doc)
+  in
+  let shrink_arg =
+    let doc = "Minimize any counterexample schedule before reporting it." in
+    Arg.(value & flag & info [ "shrink" ] ~doc)
+  in
+  let save_arg =
+    let doc = "Write the (possibly shrunk) counterexample schedule to this file." in
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+  in
+  let action impl cnum quantum layout pb max_runs do_shrink save =
+    let b = scenario_of impl cnum quantum layout in
+    let o =
+      Explore.explore ?preemption_bound:pb ~max_runs ~step_limit:8_000_000
+        b.Scenarios.scenario
+    in
+    Fmt.pr "%a@." Explore.pp_outcome o;
+    match o.counterexample with
+    | None -> ()
+    | Some c ->
+      let schedule =
+        if do_shrink then begin
+          let small = Shrink.shrink b.Scenarios.scenario c.decisions in
+          Fmt.pr "shrunk %d decisions to %d@." (List.length c.decisions)
+            (List.length small);
+          small
+        end
+        else c.decisions
+      in
+      let result, _ = Schedule.replay b.Scenarios.scenario schedule in
+      Fmt.pr "@.%s@.schedule: %s@." (Render.lanes result.trace)
+        (Schedule.to_string schedule);
+      (match save with
+      | Some path ->
+        Schedule.save ~path schedule;
+        Fmt.pr "saved to %s@." path
+      | None -> ());
+      exit 1
+  in
+  let term =
+    Term.(
+      const action $ impl_arg $ cnum_arg $ quantum_arg $ layout_arg $ pb_arg
+      $ max_runs_arg $ shrink_arg $ save_arg)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Model-check a consensus scenario over scheduler decisions.")
+    term
+
+(* ---- replay: re-judge a saved schedule ---- *)
+
+let replay_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Schedule file (from explore --save).")
+  in
+  let action impl cnum quantum layout file =
+    let b = scenario_of impl cnum quantum layout in
+    match Schedule.load ~path:file with
+    | Error m ->
+      Fmt.epr "%s@." m;
+      exit 2
+    | Ok schedule -> (
+      let result, _ = Schedule.replay b.Scenarios.scenario schedule in
+      Fmt.pr "%s@." (Render.lanes result.trace);
+      match Schedule.verdict b.Scenarios.scenario schedule with
+      | Ok () -> Fmt.pr "verdict: passes@."
+      | Error m ->
+        Fmt.pr "verdict: FAILS (%s)@." m;
+        exit 1)
+  in
+  let term =
+    Term.(const action $ impl_arg $ cnum_arg $ quantum_arg $ layout_arg $ file_arg)
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a saved schedule against a scenario and re-judge it.")
+    term
+
+(* ---- analyze: run once and print trace analytics ---- *)
+
+let analyze_cmd =
+  let action impl cnum quantum layout policy seed =
+    let b = scenario_of impl cnum quantum layout in
+    let instance = b.Scenarios.scenario.Explore.make () in
+    let r =
+      Engine.run ~step_limit:20_000_000 ~config:b.Scenarios.scenario.Explore.config
+        ~policy:(make_policy policy seed) instance.Explore.programs
+    in
+    let a = Analysis.of_trace r.trace in
+    Fmt.pr "%a@." Analysis.pp_summary a;
+    List.iter
+      (fun (i : Analysis.inv_stat) ->
+        Fmt.pr "  %a.%d %-8s %3d stmts, %d same-level / %d higher-level preemptions%s@."
+          Proc.pp_pid i.pid i.inv i.label i.statements i.same_level_preemptions
+          i.higher_level_preemptions
+          (if i.completed then "" else " (incomplete)"))
+      a.invocations
+  in
+  let term =
+    Term.(
+      const action $ impl_arg $ cnum_arg $ quantum_arg $ layout_arg $ policy_arg
+      $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run a scenario once and print per-invocation preemption analytics.")
+    term
+
+(* ---- bivalence ---- *)
+
+let bivalence_cmd =
+  let max_runs_arg =
+    Arg.(value & opt int 100_000 & info [ "max-runs" ] ~docv:"N" ~doc:"Schedule budget.")
+  in
+  let action impl cnum quantum layout max_runs =
+    let b = scenario_of impl cnum quantum layout in
+    let p =
+      Bivalence.probe ~max_runs ~scenario:b.Scenarios.scenario
+        ~decision:b.Scenarios.last_decision ()
+    in
+    Fmt.pr "%a@." Bivalence.pp p
+  in
+  let term =
+    Term.(const action $ impl_arg $ cnum_arg $ quantum_arg $ layout_arg $ max_runs_arg)
+  in
+  Cmd.v
+    (Cmd.info "bivalence"
+       ~doc:"Probe the bivalence horizon of a consensus scenario (Theorem 3).")
+    term
+
+(* ---- cas: Fig. 5 linearizability testing ---- *)
+
+let cas_cmd =
+  let ops_arg =
+    Arg.(value & opt int 2 & info [ "ops" ] ~docv:"N" ~doc:"Operations per process.")
+  in
+  let runs_arg =
+    Arg.(value & opt int 100 & info [ "runs" ] ~docv:"N" ~doc:"Random schedules to test.")
+  in
+  let action quantum layout seed ops runs =
+    let n = List.length layout in
+    let script = Scenarios.random_script ~seed ~n ~ops_per:ops in
+    let s = Scenarios.hybrid_cas ~name:"cli" ~quantum ~layout ~script in
+    let o = Explore.random_runs ~runs ~step_limit:2_000_000 ~seed s in
+    Fmt.pr "%a@." Explore.pp_outcome o;
+    if o.counterexample <> None then exit 1
+  in
+  let term =
+    Term.(const action $ quantum_arg $ layout_arg $ seed_arg $ ops_arg $ runs_arg)
+  in
+  Cmd.v
+    (Cmd.info "cas"
+       ~doc:
+         "Exercise the Fig. 5 hybrid C&S with a random workload and check \
+          linearizability.")
+    term
+
+(* ---- bounds: Table 1 calculator ---- *)
+
+let bounds_cmd =
+  let p_arg = Arg.(value & opt int 2 & info [ "p" ] ~docv:"P" ~doc:"Processors.") in
+  let c_arg =
+    Arg.(value & opt int 2 & info [ "c" ] ~docv:"C" ~doc:"Consensus number of base objects.")
+  in
+  let const_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "stmt-const" ] ~docv:"c"
+          ~doc:"Implementation constant (statements per level).")
+  in
+  let m_arg =
+    Arg.(value & opt int 2 & info [ "m" ] ~docv:"M" ~doc:"Max processes per processor.")
+  in
+  let action p c const m =
+    let open Hwf_core in
+    Fmt.pr "P=%d C=%d (statement constant %d, M=%d)@." p c const m;
+    (match Bounds.universal_quantum ~c:const ~p ~consensus_number:c with
+    | Some q -> Fmt.pr "universal if Q >= %d@." q
+    | None -> Fmt.pr "not universal at any quantum (C < P)@.");
+    (match Bounds.impossibility_quantum ~p ~consensus_number:c with
+    | Some q -> Fmt.pr "not universal if Q <= %d@." q
+    | None -> Fmt.pr "no impossibility region (infinite consensus number)@.");
+    if c >= p then begin
+      let k = min c (2 * p) - p in
+      Fmt.pr "Fig 7 instance: K=%d, L=%d levels, ports per processor:@." k
+        (Bounds.levels ~m ~p ~k);
+      for i = 0 to p - 1 do
+        Fmt.pr "  cpu %d: %d@." (i + 1) (Bounds.ports_per_processor ~p ~k ~processor:i)
+      done
+    end
+  in
+  let term = Term.(const action $ p_arg $ c_arg $ const_arg $ m_arg) in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Print the Table 1 thresholds and Fig. 7/8 constants.")
+    term
+
+(* ---- sweep: quantum sweep for a Fig. 7 instance (a Table 1 row) ---- *)
+
+let sweep_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 8 & info [ "seeds" ] ~docv:"N" ~doc:"Adversarial seeds per point.")
+  in
+  let action cnum layout seeds =
+    let quanta = [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 ] in
+    let seed_list = List.init seeds Fun.id in
+    Fmt.pr "Q sweep, C=%d, layout %a@." cnum Layout.pp layout;
+    List.iter
+      (fun quantum ->
+        let verdicts =
+          List.map
+            (fun policy ->
+              Scenarios.run_multi ~step_limit:8_000_000 ~quantum ~consensus_number:cnum
+                ~layout ~policy:(policy ()) ())
+            (Scenarios.adversarial_policies ~seeds:seed_list ~var_prefix:"mc.Cons")
+        in
+        let broken = List.filter Scenarios.violation verdicts in
+        Fmt.pr "  Q=%-5d %s (%d/%d adversarial runs violated)@." quantum
+          (if broken = [] then "no violation found" else "VIOLATED          ")
+          (List.length broken) (List.length verdicts))
+      quanta
+  in
+  let term = Term.(const action $ cnum_arg $ layout_arg $ seeds_arg) in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Sweep the quantum for a Fig. 7 consensus instance under the adversary \
+          battery — one Table 1 row, live.")
+    term
+
+(* ---- trace: Fig. 1/2 demo ---- *)
+
+let trace_cmd =
+  let action quantum layout policy seed =
+    let config = Layout.to_config ~quantum layout in
+    let n = List.length layout in
+    let x = Shared.make "obj" 0 in
+    let bodies =
+      Array.init n (fun _ () ->
+          Eff.invocation "access" (fun () ->
+              let v = Shared.read x in
+              Eff.local "compute";
+              Shared.write x (v + 1)))
+    in
+    let r = Engine.run ~config ~policy:(make_policy policy seed) bodies in
+    Fmt.pr "%s@." (Render.lanes r.trace);
+    Fmt.pr "well-formed: %b@." (Wellformed.is_well_formed r.trace)
+  in
+  let term = Term.(const action $ quantum_arg $ layout_arg $ policy_arg $ seed_arg) in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Render the interleaving of simple object accesses (Figs. 1-2).")
+    term
+
+let () =
+  let doc =
+    "Wait-free synchronization under hybrid priority/quantum scheduling \
+     (Anderson & Moir, PODC 1999) — simulator CLI."
+  in
+  let info = Cmd.info "hybridsim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            run_cmd; explore_cmd; replay_cmd; analyze_cmd; bivalence_cmd; cas_cmd;
+            bounds_cmd; sweep_cmd; trace_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/dynamic_priorities.ml: Array Config Eff Engine Fmt Fun Hwf_core Hwf_sim List Policy Proc Render Trace Wellformed Wf_objects

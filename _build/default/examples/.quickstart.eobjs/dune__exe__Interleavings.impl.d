@@ -1,0 +1,1 @@
+examples/interleavings.ml: Array Config Eff Engine Fmt Hwf_sim List Policy Proc Render Shared Wellformed

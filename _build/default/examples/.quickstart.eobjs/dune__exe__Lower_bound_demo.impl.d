@@ -1,0 +1,1 @@
+examples/lower_bound_demo.ml: Explore Fmt Hwf_adversary Hwf_sim Hwf_workload Layout Scenarios Stagger

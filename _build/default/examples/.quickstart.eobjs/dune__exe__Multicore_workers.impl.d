@@ -1,0 +1,1 @@
+examples/multicore_workers.ml: Array Dump Eff Engine Fmt Fun Hwf_core Hwf_sim Hwf_workload Layout List Policy Wellformed Wf_objects

@@ -1,0 +1,1 @@
+examples/rt_pipeline.ml: Array Config Dump Eff Engine Fmt Fun Hwf_core Hwf_sim List Policy Proc Trace Wellformed Wf_objects

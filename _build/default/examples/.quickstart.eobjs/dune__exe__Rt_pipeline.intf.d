@@ -1,0 +1,1 @@
+examples/rt_pipeline.mli:

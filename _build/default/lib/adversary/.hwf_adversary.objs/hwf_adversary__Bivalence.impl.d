@@ -1,0 +1,1 @@
+lib/adversary/bivalence.ml: Dump Explore Fmt List

@@ -1,0 +1,1 @@
+lib/adversary/bivalence.mli: Explore Fmt

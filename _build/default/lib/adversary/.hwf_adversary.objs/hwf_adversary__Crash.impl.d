@@ -1,0 +1,1 @@
+lib/adversary/crash.ml: Array Engine Hwf_sim List Policy

@@ -1,0 +1,1 @@
+lib/adversary/crash.mli: Hwf_sim

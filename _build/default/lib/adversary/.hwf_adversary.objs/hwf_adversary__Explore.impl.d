@@ -1,0 +1,1 @@
+lib/adversary/explore.ml: Array Config Engine Fmt Hwf_sim List Policy Proc Trace Vec Wellformed

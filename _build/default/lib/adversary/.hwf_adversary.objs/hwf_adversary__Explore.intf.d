@@ -1,0 +1,1 @@
+lib/adversary/explore.mli: Fmt Hwf_sim

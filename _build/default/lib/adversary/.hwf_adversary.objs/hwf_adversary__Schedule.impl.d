@@ -1,0 +1,1 @@
+lib/adversary/schedule.ml: Engine Explore Fmt Fun Hwf_sim In_channel List Policy Printf Proc String Wellformed

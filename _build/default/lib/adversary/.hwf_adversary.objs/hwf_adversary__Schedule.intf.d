@@ -1,0 +1,1 @@
+lib/adversary/schedule.mli: Explore Hwf_sim

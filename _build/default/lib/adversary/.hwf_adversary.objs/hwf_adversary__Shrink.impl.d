@@ -1,0 +1,1 @@
+lib/adversary/shrink.ml: List Schedule

@@ -1,0 +1,1 @@
+lib/adversary/shrink.mli: Explore Schedule

@@ -1,0 +1,1 @@
+lib/adversary/stagger.ml: Array Hashtbl Hwf_sim List Op Option Policy Printf Random String

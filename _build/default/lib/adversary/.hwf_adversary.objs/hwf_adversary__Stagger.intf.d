@@ -1,0 +1,1 @@
+lib/adversary/stagger.mli: Hwf_sim

@@ -1,0 +1,62 @@
+type probe = {
+  runs : int;
+  decisions : int list;
+  horizon : int;
+  deepest_run : int;
+}
+
+(* A trie over decision paths; each node stores the set (as a sorted
+   list) of decision values reachable below it. *)
+type node = { mutable values : int list; mutable children : (int * node) list }
+
+let new_node () = { values = []; children = [] }
+
+let add_value node v = if not (List.mem v node.values) then node.values <- v :: node.values
+
+let rec insert node path v =
+  add_value node v;
+  match path with
+  | [] -> ()
+  | pid :: rest ->
+    let child =
+      match List.assoc_opt pid node.children with
+      | Some c -> c
+      | None ->
+        let c = new_node () in
+        node.children <- (pid, c) :: node.children;
+        c
+    in
+    insert child rest v
+
+(* Depth of the deepest node with >= 2 distinct reachable decisions. *)
+let rec horizon_of node depth =
+  if List.length node.values < 2 then depth - 1
+  else
+    List.fold_left
+      (fun acc (_, c) -> max acc (horizon_of c (depth + 1)))
+      depth node.children
+
+let probe ?preemption_bound ?(max_runs = 20_000) ?(step_limit = 100_000) ~scenario
+    ~decision () =
+  let root = new_node () in
+  let deepest = ref 0 in
+  let runs =
+    Explore.iter_schedules ?preemption_bound ~max_runs ~step_limit scenario
+      ~f:(fun ~pids _result ->
+        deepest := max !deepest (List.length pids);
+        (match decision () with
+        | Some v -> insert root pids v
+        | None -> ());
+        `Continue)
+  in
+  {
+    runs;
+    decisions = List.sort_uniq compare root.values;
+    horizon = (if List.length root.values < 2 then 0 else max 0 (horizon_of root 0));
+    deepest_run = !deepest;
+  }
+
+let pp ppf p =
+  Fmt.pf ppf "runs=%d decisions=%a horizon=%d deepest=%d" p.runs
+    Fmt.(Dump.list int)
+    p.decisions p.horizon p.deepest_run

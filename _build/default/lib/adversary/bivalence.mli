@@ -1,0 +1,41 @@
+(** Bivalence probing: a machine-checked rendering of the valency
+    argument (Theorem 3, Appendix A, Figs. 4/6/10).
+
+    A schedule prefix is {e bivalent} if two different decision values
+    are reachable by extending it. The paper's lower bound constructs an
+    infinite sequence of bivalent states whenever [Q <= 2P - C]; a
+    wait-free-correct algorithm, by contrast, runs out of bivalence
+    within its (bounded) schedule length.
+
+    The prober enumerates schedules of a consensus scenario (with a
+    preemption bound, like {!Explore}), records the decision value of
+    every complete run together with its decision path, and reports the
+    {e bivalence horizon}: the length of the longest prefix below which
+    two distinct decisions are still reachable. Below the Table 1
+    threshold the horizon grows with the probe bounds (evidence of the
+    paper's infinite bivalent history); above it the horizon is small
+    and stable (experiment E6b). *)
+
+type probe = {
+  runs : int;
+  decisions : int list;  (** Distinct decision values observed. *)
+  horizon : int;  (** Longest bivalent prefix length; 0 if univalent. *)
+  deepest_run : int;  (** Longest schedule observed, for scale. *)
+}
+
+val probe :
+  ?preemption_bound:int ->
+  ?max_runs:int ->
+  ?step_limit:int ->
+  scenario:Explore.scenario ->
+  decision:(unit -> int option) ->
+  unit ->
+  probe
+(** [decision ()] must report the decided value of the most recent run
+    (the scenario's instances are expected to stash it; see the E6 bench
+    for the pattern: [make] stores the latest instance's outputs in a
+    cell that [decision] reads). Runs whose decision is [None]
+    (non-termination within the step limit, or disagreement sentinel) are
+    counted but excluded from valency classification. *)
+
+val pp : probe Fmt.t

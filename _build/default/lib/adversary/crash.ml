@@ -1,0 +1,27 @@
+open Hwf_sim
+
+let wrap ~victims (policy : Policy.t) =
+  (* A victim is parked at the first legal parking point at or after its
+     crash threshold: while it holds an active quantum guarantee the
+     well-formedness rules forbid running its same-level peers instead,
+     so parking it there would (legally but unhelpfully) freeze the whole
+     level — the scheduler keeps it running until the guarantee drains. *)
+  let crashed (view : Policy.view) pid =
+    match List.assoc_opt pid victims with
+    | Some after ->
+      let p = view.procs.(pid) in
+      p.Policy.own_steps >= after && p.Policy.guarantee = 0
+    | None -> false
+  in
+  Policy.of_fun (policy.name ^ "+crash") (fun view ->
+      let alive = List.filter (fun p -> not (crashed view p)) view.runnable in
+      match alive with
+      | [] -> None (* only crashed processes are runnable: halt *)
+      | _ -> policy.choose { view with runnable = alive })
+
+let survivors_finished (r : Engine.result) ~victims =
+  let ok = ref true in
+  Array.iteri
+    (fun pid finished -> if (not (List.mem pid victims)) && not finished then ok := false)
+    r.finished;
+  !ok

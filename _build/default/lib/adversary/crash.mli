@@ -1,0 +1,30 @@
+(** Halting-failure injection.
+
+    The paper's schedulers may "choose to never allocate a quantum to
+    some ready process — such behavior corresponds to a halting failure
+    in an asynchronous system" (Sec. 2). Wait-freedom is exactly
+    robustness against this: every {e scheduled} process finishes in a
+    bounded number of its own statements no matter how many others halt
+    mid-invocation.
+
+    [wrap] turns any policy into one that permanently stops scheduling
+    each victim once it has executed its crash-point number of own
+    statements. The victim stays parked mid-invocation (still ready, so
+    Axiom 1 keeps blocking lower priorities on its processor — choose
+    victims accordingly). If only victims remain runnable the policy
+    halts the run, which surfaces as [Policy_stopped]. *)
+
+val wrap :
+  victims:(Hwf_sim.Proc.pid * int) list ->
+  Hwf_sim.Policy.t ->
+  Hwf_sim.Policy.t
+(** [wrap ~victims policy]: [(pid, after)] crashes [pid] at the first
+    legal parking point once it has executed [after] own statements — a
+    process holding an active quantum guarantee keeps running until the
+    guarantee drains, because parking it there would forbid its
+    same-level peers from running at all (the model's protected windows
+    belong to the scheduler, not the process). Stateless (reads progress
+    from the view), so safe to reuse across runs. *)
+
+val survivors_finished : Hwf_sim.Engine.result -> victims:Hwf_sim.Proc.pid list -> bool
+(** All non-victim processes completed. *)

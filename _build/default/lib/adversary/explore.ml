@@ -1,0 +1,176 @@
+open Hwf_sim
+
+type instance = {
+  programs : (unit -> unit) array;
+  check : Engine.result -> (unit, string) result;
+}
+
+type scenario = { name : string; config : Config.t; make : unit -> instance }
+
+type counterexample = {
+  message : string;
+  trace : Trace.t;
+  decisions : Proc.pid list;
+}
+
+type outcome = {
+  runs : int;
+  exhaustive : bool;
+  counterexample : counterexample option;
+}
+
+(* One decision point of a completed run: the index chosen among
+   [candidates] alternatives, and the pid it mapped to. *)
+type slot = { choice : int; candidates : int; pid : Proc.pid }
+
+let verdict ~on_step_limit instance (result : Engine.result) =
+  match Wellformed.check result.trace with
+  | v :: _ ->
+    Error (Fmt.str "engine produced ill-formed trace: %a" Wellformed.pp_violation v)
+  | [] -> (
+    match (result.stop, on_step_limit) with
+    | Engine.Step_limit, `Fail -> Error "step limit hit (possible non-termination)"
+    | (Engine.Step_limit | Engine.All_finished | Engine.Policy_stopped), _ ->
+      instance.check result)
+
+(* Run one schedule: follow [prefix] (indices into the candidate lists),
+   then always take index 0. Records the decision slots taken. *)
+let run_one ~preemption_bound ~max_depth ~step_limit ~config instance prefix =
+  let slots = Vec.create () in
+  let depth = ref 0 in
+  let prev = ref (-1) in
+  let budget = ref (match preemption_bound with None -> max_int | Some b -> b) in
+  let truncated = ref false in
+  let choose (view : Policy.view) =
+    let r = view.runnable in
+    let preferred = if List.mem !prev r then Some !prev else None in
+    let candidates =
+      match preferred with
+      | Some p when !budget = 0 -> [ p ]
+      | Some p -> p :: List.filter (fun q -> q <> p) r
+      | None -> r
+    in
+    let d = !depth in
+    incr depth;
+    let idx =
+      if d < Array.length prefix then prefix.(d)
+      else begin
+        if d >= max_depth then truncated := true;
+        0
+      end
+    in
+    let idx = if idx < List.length candidates then idx else 0 in
+    let pick = List.nth candidates idx in
+    let n = if d >= max_depth then 1 else List.length candidates in
+    Vec.push slots { choice = idx; candidates = n; pid = pick };
+    (match preferred with
+    | Some p when pick <> p -> decr budget
+    | Some _ | None -> ());
+    prev := pick;
+    Some pick
+  in
+  let policy = Policy.of_fun "explore" choose in
+  let result = Engine.run ~step_limit ~config ~policy instance.programs in
+  (result, slots, !truncated)
+
+let backtrack slots =
+  (* Deepest slot with an unexplored sibling. *)
+  let n = Vec.length slots in
+  let rec find i =
+    if i < 0 then None
+    else
+      let s = Vec.get slots i in
+      if s.choice + 1 < s.candidates then Some i else find (i - 1)
+  in
+  match find (n - 1) with
+  | None -> None
+  | Some i ->
+    let prefix = Array.make (i + 1) 0 in
+    for j = 0 to i - 1 do
+      prefix.(j) <- (Vec.get slots j).choice
+    done;
+    prefix.(i) <- (Vec.get slots i).choice + 1;
+    Some prefix
+
+let explore ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
+    ?(step_limit = 100_000) ?(on_step_limit = `Fail) scenario =
+  let runs = ref 0 in
+  let exhaustive = ref true in
+  let rec loop prefix =
+    if !runs >= max_runs then begin
+      exhaustive := false;
+      { runs = !runs; exhaustive = false; counterexample = None }
+    end
+    else begin
+      incr runs;
+      let instance = scenario.make () in
+      let result, slots, truncated =
+        run_one ~preemption_bound ~max_depth ~step_limit ~config:scenario.config
+          instance prefix
+      in
+      if truncated then exhaustive := false;
+      match verdict ~on_step_limit instance result with
+      | Error message ->
+        let decisions = List.map (fun s -> s.pid) (Vec.to_list slots) in
+        {
+          runs = !runs;
+          exhaustive = false;
+          counterexample = Some { message; trace = result.trace; decisions };
+        }
+      | Ok () -> (
+        match backtrack slots with
+        | None -> { runs = !runs; exhaustive = !exhaustive; counterexample = None }
+        | Some prefix -> loop prefix)
+    end
+  in
+  loop [||]
+
+let iter_schedules ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
+    ?(step_limit = 100_000) scenario ~f =
+  let runs = ref 0 in
+  let rec loop prefix =
+    if !runs < max_runs then begin
+      incr runs;
+      let instance = scenario.make () in
+      let result, slots, _truncated =
+        run_one ~preemption_bound ~max_depth ~step_limit ~config:scenario.config
+          instance prefix
+      in
+      let pids = List.map (fun s -> s.pid) (Vec.to_list slots) in
+      match f ~pids result with
+      | `Stop -> ()
+      | `Continue -> (
+        match backtrack slots with None -> () | Some prefix -> loop prefix)
+    end
+  in
+  loop [||];
+  !runs
+
+let random_runs ?(runs = 1_000) ?(step_limit = 100_000) ?(on_step_limit = `Fail)
+    ~seed scenario =
+  let rec loop i =
+    if i >= runs then { runs = i; exhaustive = false; counterexample = None }
+    else begin
+      let instance = scenario.make () in
+      let policy = Policy.random ~seed:(seed + i) in
+      let result =
+        Engine.run ~step_limit ~config:scenario.config ~policy instance.programs
+      in
+      match verdict ~on_step_limit instance result with
+      | Error message ->
+        {
+          runs = i + 1;
+          exhaustive = false;
+          counterexample = Some { message; trace = result.trace; decisions = [] };
+        }
+      | Ok () -> loop (i + 1)
+    end
+  in
+  loop 0
+
+let pp_outcome ppf o =
+  match o.counterexample with
+  | None ->
+    Fmt.pf ppf "OK after %d runs%s" o.runs
+      (if o.exhaustive then " (exhaustive)" else "")
+  | Some c -> Fmt.pf ppf "FAIL after %d runs: %s" o.runs c.message

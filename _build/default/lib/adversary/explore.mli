@@ -1,0 +1,91 @@
+(** Stateless model checking of simulator programs.
+
+    Explores the tree of scheduler decisions by re-execution (one-shot
+    continuations cannot be forked, so each path is replayed from
+    scratch, CHESS-style). Every explored trace is additionally passed
+    through {!Hwf_sim.Wellformed}, so an engine bug surfaces as a
+    counterexample rather than silently shrinking the schedule space.
+
+    Exploration is optionally {e context-bounded}: scheduling decisions
+    that continue the process that executed the previous statement (or
+    switch away from a process that cannot continue) are free, while
+    genuine preemptions consume a budget. With an unlimited budget the
+    search is exhaustive over all well-formed schedules; with a small
+    budget it covers exactly the schedules the paper's arguments reason
+    about (at most one quantum preemption per short code sequence) plus
+    a margin.
+
+    No partial-order reduction is applied, deliberately: in this model
+    even statements on disjoint variables do not commute, because every
+    statement advances the scheduler's preemption accounting (pending
+    flags, quantum guarantees) of every other process on its processor —
+    reordering two "independent" statements can change which schedules
+    are subsequently legal. Context bounding is the reduction that is
+    sound here. *)
+
+type instance = {
+  programs : (unit -> unit) array;
+  check : Hwf_sim.Engine.result -> (unit, string) result;
+      (** Verdict on one complete run; [Error msg] is a counterexample. *)
+}
+
+type scenario = {
+  name : string;
+  config : Hwf_sim.Config.t;
+  make : unit -> instance;
+      (** Must build fresh shared state and closures on every call:
+          runs are replayed from scratch. *)
+}
+
+type counterexample = {
+  message : string;
+  trace : Hwf_sim.Trace.t;
+  decisions : Hwf_sim.Proc.pid list;  (** The schedule that failed. *)
+}
+
+type outcome = {
+  runs : int;
+  exhaustive : bool;
+      (** True if the search space was fully covered within the bounds. *)
+  counterexample : counterexample option;
+}
+
+val explore :
+  ?preemption_bound:int ->
+  ?max_runs:int ->
+  ?max_depth:int ->
+  ?step_limit:int ->
+  ?on_step_limit:[ `Fail | `Ignore ] ->
+  scenario ->
+  outcome
+(** DFS over schedules. [preemption_bound] (default unlimited) caps paid
+    context switches per schedule; [max_runs] (default 200_000) and
+    [max_depth] (default 10_000 decisions) bound the search; runs hitting
+    [step_limit] (default 100_000 statements) are treated per
+    [on_step_limit] (default [`Fail] — suitable for wait-free algorithms,
+    which must terminate under every schedule). *)
+
+val iter_schedules :
+  ?preemption_bound:int ->
+  ?max_runs:int ->
+  ?max_depth:int ->
+  ?step_limit:int ->
+  scenario ->
+  f:(pids:Hwf_sim.Proc.pid list -> Hwf_sim.Engine.result -> [ `Continue | `Stop ]) ->
+  int
+(** Lower-level driver underlying [explore]: enumerates schedules in the
+    same DFS order and hands each completed run (with its decision path)
+    to [f]. Returns the number of runs performed. Used by
+    {!Bivalence}. *)
+
+val random_runs :
+  ?runs:int ->
+  ?step_limit:int ->
+  ?on_step_limit:[ `Fail | `Ignore ] ->
+  seed:int ->
+  scenario ->
+  outcome
+(** Volume testing with seeded random schedules; a complement to
+    [explore] for configurations too large to enumerate. *)
+
+val pp_outcome : outcome Fmt.t

@@ -1,0 +1,44 @@
+open Hwf_sim
+
+type t = Proc.pid list
+
+let to_string s = String.concat " " (List.map (fun p -> string_of_int (p + 1)) s)
+
+let of_string str =
+  try
+    let toks =
+      String.split_on_char ' ' (String.trim str)
+      |> List.concat_map (String.split_on_char '\n')
+      |> List.filter (fun s -> s <> "")
+    in
+    Ok (List.map (fun tok -> int_of_string tok - 1) toks)
+  with Failure _ -> Error (Printf.sprintf "Schedule.of_string: cannot parse %S" str)
+
+let save ~path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string s ^ "\n"))
+
+let load ~path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_string (In_channel.input_all ic))
+  with Sys_error msg -> Error msg
+
+let replay ?(step_limit = 1_000_000) (scenario : Explore.scenario) schedule =
+  let instance = scenario.make () in
+  let policy = Policy.scripted ~fallback:Policy.first schedule in
+  let result = Engine.run ~step_limit ~config:scenario.config ~policy instance.programs in
+  (result, instance)
+
+let verdict ?step_limit scenario schedule =
+  let result, instance = replay ?step_limit scenario schedule in
+  match Wellformed.check result.trace with
+  | v :: _ -> Error (Fmt.str "ill-formed: %a" Wellformed.pp_violation v)
+  | [] -> (
+    match result.stop with
+    | Engine.Step_limit -> Error "step limit hit"
+    | Engine.All_finished | Engine.Policy_stopped -> instance.check result)

@@ -1,0 +1,31 @@
+(** Schedules as data: serialize, replay and re-judge the decision
+    sequences produced by {!Explore}, so counterexamples can be saved,
+    shared and re-examined.
+
+    A schedule is the pid sequence of scheduling decisions. Replaying
+    follows it with a strict scripted policy backed by a deterministic
+    fallback ({!Hwf_sim.Policy.first}) for decisions the script cannot
+    take (after shrinking, some entries may no longer be runnable at
+    their turn — they are skipped). *)
+
+type t = Hwf_sim.Proc.pid list
+
+val to_string : t -> string
+(** One decision per token, 1-based pids: ["1 2 2 1"]. *)
+
+val of_string : string -> (t, string) result
+
+val save : path:string -> t -> unit
+
+val load : path:string -> (t, string) result
+
+val replay :
+  ?step_limit:int ->
+  Explore.scenario ->
+  t ->
+  Hwf_sim.Engine.result * Explore.instance
+(** Runs a fresh instance of the scenario under the schedule. *)
+
+val verdict : ?step_limit:int -> Explore.scenario -> t -> (unit, string) result
+(** Replays and judges: well-formedness, then the scenario's own check.
+    A step-limit stop is an error. *)

@@ -1,0 +1,52 @@
+let fails ?step_limit scenario schedule =
+  match Schedule.verdict ?step_limit scenario schedule with
+  | Error _ -> true
+  | Ok () -> false
+
+(* Remove the half-open index range [i, j) from a list. *)
+let remove_range l i j =
+  List.filteri (fun idx _ -> idx < i || idx >= j) l
+
+let shrink ?(max_rounds = 200) ?step_limit scenario failing =
+  if not (fails ?step_limit scenario failing) then failing
+  else begin
+    let budget = ref max_rounds in
+    let try_candidate cur cand =
+      if !budget <= 0 || List.length cand >= List.length cur then None
+      else begin
+        decr budget;
+        if fails ?step_limit scenario cand then Some cand else None
+      end
+    in
+    (* Phase 1: drop exponentially shrinking chunks. *)
+    let rec chunk_pass cur size =
+      if size = 0 then cur
+      else begin
+        let n = List.length cur in
+        let rec at i cur =
+          if i >= List.length cur then cur
+          else
+            match try_candidate cur (remove_range cur i (min (i + size) (List.length cur))) with
+            | Some cand -> at i cand (* removed; same index now holds the next chunk *)
+            | None -> at (i + size) cur
+        in
+        let cur = at 0 cur in
+        chunk_pass cur (if size > n then n / 2 else size / 2)
+      end
+    in
+    let cur = chunk_pass failing (List.length failing / 2) in
+    (* Phase 2: single-decision removal until a fixed point. *)
+    let rec singles cur =
+      let n = List.length cur in
+      let rec at i cur changed =
+        if i >= List.length cur then (cur, changed)
+        else
+          match try_candidate cur (remove_range cur i (i + 1)) with
+          | Some cand -> at i cand true
+          | None -> at (i + 1) cur changed
+      in
+      let cur', changed = at 0 cur false in
+      if changed && !budget > 0 && List.length cur' < n then singles cur' else cur'
+    in
+    singles cur
+  end

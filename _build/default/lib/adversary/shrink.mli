@@ -1,0 +1,21 @@
+(** Counterexample minimization.
+
+    Greedy delta debugging over failing schedules: repeatedly try to
+    remove chunks of decisions, keeping any candidate that still fails
+    the scenario's verdict under {!Schedule.verdict}. The result is
+    locally minimal — removing any single remaining decision makes the
+    failure disappear (under the deterministic replay semantics).
+
+    Shrinking may converge on a {e different} failure than the original;
+    for debugging that is a feature (it is still a real counterexample
+    of the same scenario). *)
+
+val shrink :
+  ?max_rounds:int ->
+  ?step_limit:int ->
+  Explore.scenario ->
+  Schedule.t ->
+  Schedule.t
+(** [shrink scenario failing] returns a minimized failing schedule.
+    If [failing] does not actually fail on replay, it is returned
+    unchanged. [max_rounds] (default 200) bounds replays. *)

@@ -1,0 +1,1 @@
+lib/check/hist.ml: Eff Fmt Hwf_sim Vec

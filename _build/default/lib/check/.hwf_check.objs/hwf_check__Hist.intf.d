@@ -1,0 +1,1 @@
+lib/check/hist.mli: Fmt

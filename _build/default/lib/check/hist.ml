@@ -1,0 +1,22 @@
+open Hwf_sim
+
+type ('op, 'r) entry = { pid : int; op : 'op; result : 'r; t0 : int; t1 : int }
+
+type ('op, 'r) t = ('op, 'r) entry Vec.t
+
+let create () = Vec.create ()
+
+let wrap h ~pid op f =
+  let t0 = Eff.now () in
+  let result = f () in
+  let t1 = Eff.now () in
+  Vec.push h { pid; op; result; t0; t1 };
+  result
+
+let entries h = Vec.to_list h
+
+let pp ~op ~result ppf h =
+  let pp_entry ppf e =
+    Fmt.pf ppf "[%d,%d) p%d: %a -> %a" e.t0 e.t1 (e.pid + 1) op e.op result e.result
+  in
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@,") pp_entry) (entries h)

@@ -1,0 +1,28 @@
+(** Concurrent-history recording for linearizability checking.
+
+    Process code wraps each high-level operation with {!wrap}; the
+    recorder timestamps the operation's interval in global statement
+    indices (via {!Hwf_sim.Eff.now}, which costs no statements) and
+    stores the operation descriptor and its observed result. *)
+
+type ('op, 'r) entry = {
+  pid : int;
+  op : 'op;
+  result : 'r;
+  t0 : int;  (** Statement count just before the first statement. *)
+  t1 : int;  (** Statement count just after the last statement. *)
+}
+
+type ('op, 'r) t
+
+val create : unit -> ('op, 'r) t
+
+val wrap : ('op, 'r) t -> pid:int -> 'op -> (unit -> 'r) -> 'r
+(** [wrap h ~pid op f] runs [f ()], records the completed operation and
+    returns its result. Must run inside the simulator. *)
+
+val entries : ('op, 'r) t -> ('op, 'r) entry list
+(** In completion order. Harness use (after the run). *)
+
+val pp :
+  op:'op Fmt.t -> result:'r Fmt.t -> ('op, 'r) t Fmt.t

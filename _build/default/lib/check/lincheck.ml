@@ -1,0 +1,79 @@
+type ('op, 'r) spec =
+  | Spec : { init : 's; apply : 's -> 'op -> 's * 'r } -> ('op, 'r) spec
+
+let make_spec ~init ~apply = Spec { init; apply }
+
+exception Found
+
+(* A compact bitmask identifies the set of already-linearized operations;
+   histories beyond 62 operations are rejected up front (the suites stay
+   far below that). *)
+(* Shared search: [precede] gives, per op, the bitmask of ops that must
+   come earlier in any witness order. *)
+let search_order spec entries precede =
+  match spec with
+  | Spec { init; apply } ->
+    let n = Array.length entries in
+    begin
+      let full = (1 lsl n) - 1 in
+      let seen = Hashtbl.create 1024 in
+      let rec search done_mask state =
+        if done_mask = full then raise Found;
+        let key = (done_mask, state) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          for i = 0 to n - 1 do
+            let bit = 1 lsl i in
+            if done_mask land bit = 0 && precede.(i) land lnot done_mask = 0 then begin
+              let e = entries.(i) in
+              let state', r = apply state e.Hist.op in
+              if r = e.Hist.result then search (done_mask lor bit) state'
+            end
+          done
+        end
+      in
+      match search 0 init with
+      | () -> Error "no valid order exists"
+      | exception Found -> Ok ()
+    end
+
+let check spec entries =
+  let entries = Array.of_list entries in
+  let n = Array.length entries in
+  if n > 62 then Error "Lincheck.check: history too long (> 62 operations)"
+  else
+    let precede =
+      Array.init n (fun i ->
+          let e = entries.(i) in
+          let mask = ref 0 in
+          for j = 0 to n - 1 do
+            if j <> i && entries.(j).Hist.t1 <= e.Hist.t0 then
+              mask := !mask lor (1 lsl j)
+          done;
+          !mask)
+    in
+    match search_order spec entries precede with
+    | Ok () -> Ok ()
+    | Error _ -> Error "not linearizable: no valid linearization order exists"
+
+let check_hist spec hist = check spec (Hist.entries hist)
+
+let check_sequential_consistency spec entries =
+  let entries = Array.of_list entries in
+  let n = Array.length entries in
+  if n > 62 then Error "Lincheck.check_sequential_consistency: history too long"
+  else
+    (* only same-process program order constrains *)
+    let precede =
+      Array.init n (fun i ->
+          let e = entries.(i) in
+          let mask = ref 0 in
+          for j = 0 to n - 1 do
+            if j <> i && entries.(j).Hist.pid = e.Hist.pid && entries.(j).Hist.t1 <= e.Hist.t0
+            then mask := !mask lor (1 lsl j)
+          done;
+          !mask)
+    in
+    match search_order spec entries precede with
+    | Ok () -> Ok ()
+    | Error _ -> Error "not sequentially consistent: no program-order-respecting order"

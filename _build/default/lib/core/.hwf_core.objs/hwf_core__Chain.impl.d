@@ -1,0 +1,1 @@
+lib/core/chain.ml: Eff Hashtbl Hwf_sim Printf Shared Uni_consensus Vec

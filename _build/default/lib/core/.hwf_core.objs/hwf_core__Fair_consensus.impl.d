@@ -1,0 +1,1 @@
+lib/core/fair_consensus.ml: Array Config Hwf_sim Multi_consensus Printf Proc Shared Uni_consensus

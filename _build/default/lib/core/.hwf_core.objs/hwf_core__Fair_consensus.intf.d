@@ -1,0 +1,1 @@
+lib/core/fair_consensus.mli: Hwf_sim

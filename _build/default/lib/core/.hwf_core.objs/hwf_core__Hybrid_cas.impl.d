@@ -1,0 +1,1 @@
+lib/core/hybrid_cas.ml: Array Config Eff Hashtbl Hwf_sim List Printf Proc Q_cas Queue Shared Uni_consensus

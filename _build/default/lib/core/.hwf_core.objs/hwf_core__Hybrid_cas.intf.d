@@ -1,0 +1,1 @@
+lib/core/hybrid_cas.mli: Hwf_sim

@@ -1,0 +1,1 @@
+lib/core/multi_consensus.ml: Array Bounds Chain Config Cons_obj Eff Hashtbl Hwf_objects Hwf_sim List Printf Proc Q_cas Shared Uni_consensus Vec

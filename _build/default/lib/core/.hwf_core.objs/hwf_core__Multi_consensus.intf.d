@@ -1,0 +1,1 @@
+lib/core/multi_consensus.mli: Hwf_sim

@@ -1,0 +1,1 @@
+lib/core/q_fai.mli:

@@ -1,0 +1,1 @@
+lib/core/renaming.ml: Hwf_sim Printf Uni_consensus Vec

@@ -1,0 +1,1 @@
+lib/core/uni_consensus.ml: Array Eff Hwf_sim Shared

@@ -1,0 +1,1 @@
+lib/core/universal.ml: Array Hashtbl Hwf_sim Printf Shared Vec

@@ -1,0 +1,1 @@
+lib/core/wf_objects.ml: Array Cons_obj Hwf_objects List Multi_consensus Uni_consensus Universal

@@ -1,0 +1,1 @@
+lib/core/wf_objects.mli: Hwf_sim Universal

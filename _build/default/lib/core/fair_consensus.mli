@@ -1,0 +1,24 @@
+(** Fig. 9: multiprocessor consensus with {e fair} quantum allocation and
+    a constant-size quantum (Sec. 5).
+
+    One process per (processor, priority level) is elected through a
+    local uniprocessor consensus object; losers spin until the decision
+    is published. The winners — at most one per level per processor, so
+    never subject to same-priority preemption among themselves — run the
+    priority-based instance of the Fig. 7 algorithm, which then needs
+    only a constant quantum. Under a fair scheduler every spinning loser
+    terminates after finitely many of its own steps, so the algorithm is
+    wait-free in the "finite number of its own steps" sense the paper
+    adopts; under an unfair scheduler losers can spin forever, which is
+    exactly the contrast experiment E8 demonstrates. *)
+
+type 'a t
+
+val make : config:Hwf_sim.Config.t -> name:string -> consensus_number:int -> 'a t
+
+val decide : 'a t -> pid:int -> 'a -> 'a
+(** May spin (line 2) while the global decision is pending; bound the run
+    with a step limit and a fair policy. *)
+
+val elections_lost : 'a t -> int
+(** Harness statistic: how many [decide] calls took the spinning path. *)

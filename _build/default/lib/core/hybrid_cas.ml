@@ -1,0 +1,305 @@
+open Hwf_sim
+
+(* ptrtype: identifies a list cell. *)
+type ptr = { id : int; tag : int }
+
+(* hdtype: stored in one word; (id, tag) identify a cell, [last] is the
+   pid of the last process to claim this Hd variable. *)
+type hd = { hid : int; htag : int; last : int }
+
+type 'a cell = { value : 'a Shared.t; nxt : ptr Uni_consensus.t Shared.t }
+
+(* Private variables, retained across invocations (Fig. 5 caption). *)
+type pstate = {
+  mutable j : int;  (* 0-based cursor into A's rows *)
+  mutable lasttag : int;
+  reads : int Queue.t;  (* last 2N tags read *)
+  selected : int Queue.t;  (* last 2N tags selected *)
+}
+
+type 'a t = {
+  name : string;
+  n : int;  (* N, real processes *)
+  v : int;  (* V, priority levels *)
+  priority : int -> int;  (* pid (or pseudo-id N) -> level *)
+  cells : 'a cell array array;  (* (N+1) x (4N+2); row N = initial cell owner *)
+  hd : hd Q_cas.t array;  (* per level *)
+  a : int Shared.t array array;  (* 2N x V tag-feedback matrix *)
+  seen : 'a Shared.t array;  (* per level *)
+  pstates : (int, pstate) Hashtbl.t;
+  mutable appends : int;  (* harness statistic *)
+}
+
+let tag_space n = (4 * n) + 2
+
+let make ~config ~name ~init =
+  let n = Config.n config in
+  let v = config.Config.levels in
+  let priority pid =
+    if pid = n then 1 else config.Config.procs.(pid).Proc.priority
+  in
+  let fresh_nxt owner tag =
+    Uni_consensus.make (Printf.sprintf "%s.Cell[%d][%d].nxt" name owner tag)
+  in
+  let cells =
+    Array.init (n + 1) (fun owner ->
+        Array.init (tag_space n) (fun tag ->
+            {
+              value =
+                Shared.make (Printf.sprintf "%s.Cell[%d][%d].val" name owner tag) init;
+              nxt =
+                Shared.make
+                  (Printf.sprintf "%s.Cell[%d][%d].nxt" name owner tag)
+                  (fresh_nxt owner tag);
+            }))
+  in
+  (* "We assume the list is initialized as if some process had previously
+     performed a successful C&S in isolation": a pseudo-process (id N,
+     priority 1) owns the initial cell (N, 0); every Hd points at it. *)
+  let initial = { hid = n; htag = 0; last = n } in
+  let hd =
+    Array.init v (fun i -> Q_cas.make (Printf.sprintf "%s.Hd[%d]" name (i + 1)) initial)
+  in
+  let a =
+    Array.init (2 * n) (fun q ->
+        Array.init v (fun i ->
+            Shared.make (Printf.sprintf "%s.A[%d][%d]" name (q + 1) (i + 1)) 0))
+  in
+  let seen =
+    Array.init v (fun i -> Shared.make (Printf.sprintf "%s.Seen[%d]" name (i + 1)) init)
+  in
+  { name; n; v; priority; cells; hd; a; seen; pstates = Hashtbl.create 8; appends = 0 }
+
+let pstate t pid =
+  match Hashtbl.find_opt t.pstates pid with
+  | Some s -> s
+  | None ->
+    let s = { j = 0; lasttag = -1; reads = Queue.create (); selected = Queue.create () } in
+    Hashtbl.add t.pstates pid s;
+    s
+
+let cell_of_hd t (h : hd) = t.cells.(h.hid).(h.htag)
+
+(* Fig. 5, procedure Feedback(q, i, cmp, var hd). Returns false iff the
+   caller should abort because a higher-priority Hd changed (line 5). *)
+let feedback t ~q ~i ~(cmp : hd) ~(h : hd ref) =
+  let caller = if q < t.n then q else q - t.n in
+  let pri = t.priority caller in
+  Eff.local (t.name ^ ".fb.1");
+  if i < pri then true (* line 1: no feedback below own level *)
+  else begin
+    Shared.write t.a.(q).(i - 1) !h.htag (* line 2 *);
+    let tmp = Q_cas.read t.hd.(i - 1) (* line 3 *) in
+    Eff.local (t.name ^ ".fb.4");
+    if (cmp.hid, cmp.htag) <> (tmp.hid, tmp.htag) then
+      if i > pri then false (* line 5: higher-priority preemption *)
+      else begin
+        (* i = pri; lines 6-7 (protected by the quantum) *)
+        Shared.write t.a.(q).(i - 1) tmp.htag (* line 6 *);
+        Eff.local (t.name ^ ".fb.7");
+        h := tmp;
+        true
+      end
+    else true
+  end
+
+(* Lines 8-10: constant-time tag selection per [Anderson & Moir '95]. *)
+let select_tag t st ~pri =
+  let read_tag = Shared.read t.a.(st.j).(pri - 1) (* line 8 *) in
+  Queue.add read_tag st.reads;
+  if Queue.length st.reads > 2 * t.n then ignore (Queue.pop st.reads);
+  Eff.local (t.name ^ ".9");
+  st.j <- (st.j + 1) mod (2 * t.n) (* line 9 *);
+  Eff.local (t.name ^ ".10");
+  let excluded tag =
+    tag = st.lasttag
+    || Queue.fold (fun acc x -> acc || x = tag) false st.reads
+    || Queue.fold (fun acc x -> acc || x = tag) false st.selected
+  in
+  let rec pick tag = if excluded tag then pick (tag + 1) else tag in
+  let tag = pick 0 in
+  assert (tag < tag_space t.n);
+  Queue.add tag st.selected;
+  if Queue.length st.selected > 2 * t.n then ignore (Queue.pop st.selected);
+  tag
+
+(* Lines 32-36 and 39-43: install [target] into Hd[pri]. Returns false
+   iff the cell being installed already has a successor (lines 35/42). *)
+let update_hd t ~pid ~pri (target : hd) =
+  let rec outer () =
+    let rec inner () =
+      let tmp = Q_cas.read t.hd.(pri - 1) (* lines 33/40 *) in
+      let claimed = { tmp with last = pid } in
+      if Q_cas.cas t.hd.(pri - 1) ~who:pid ~expected:tmp ~desired:claimed
+         (* lines 34/41 *)
+      then claimed
+      else inner ()
+    in
+    let claimed = inner () in
+    let nxt_obj = Shared.read (cell_of_hd t target).nxt in
+    match Uni_consensus.read nxt_obj (* lines 35/42 *) with
+    | Some _ -> false
+    | None ->
+      if Q_cas.cas t.hd.(pri - 1) ~who:pid ~expected:claimed ~desired:target
+         (* lines 36/43 *)
+      then true
+      else outer ()
+  in
+  outer ()
+
+(* Fig. 5, procedure Apply(old, new, hd) — lines 26-45. [mytag] is the
+   tag selected at line 10 for this operation's own cell. *)
+let apply t ~pid ~pri ~old ~new_ ~mytag (h : hd) =
+  let st = pstate t pid in
+  let v = Shared.read (cell_of_hd t h).value (* line 26 *) in
+  if v <> old then false
+  else begin
+    Eff.local (t.name ^ ".27");
+    if old = new_ then true (* line 27: trivial C&S *)
+    else begin
+      (* lines 28-29: help lower-priority reads *)
+      for i = 1 to pri - 1 do
+        Shared.write t.seen.(i - 1) old
+      done;
+      Eff.local (t.name ^ ".30");
+      let install_first = t.priority h.hid <= pri (* line 30 *) in
+      let proceed =
+        if install_first then begin
+          Eff.local (t.name ^ ".31");
+          update_hd t ~pid ~pri { h with last = pid } (* lines 31-36 *)
+        end
+        else true
+      in
+      if not proceed then false (* line 35: a successor appeared *)
+      else begin
+        (* line 37: consensus on the head cell's nxt pointer *)
+        let nxt_obj = Shared.read (cell_of_hd t h).nxt in
+        let mine = { id = pid; tag = mytag } in
+        let won = Uni_consensus.decide nxt_obj mine in
+        if won = mine then begin
+          Eff.local (t.name ^ ".38");
+          st.lasttag <- mytag;
+          t.appends <- t.appends + 1;
+          let my_hd = { hid = pid; htag = mytag; last = pid } in
+          ignore (update_hd t ~pid ~pri my_hd) (* lines 39-43 *);
+          true (* line 44 (and the line-42 early exit; see .mli notes) *)
+        end
+        else false (* line 45 *)
+      end
+    end
+  end
+
+(* Fig. 5, procedure C&S(old, new) — lines 8-25. *)
+let cas t ~pid ~expected ~desired =
+  let pri = t.priority pid in
+  let st = pstate t pid in
+  let mytag = select_tag t st ~pri (* lines 8-10 *) in
+  let my_cell = t.cells.(pid).(mytag) in
+  Shared.write my_cell.value desired (* line 11 *);
+  Shared.write my_cell.nxt
+    (Uni_consensus.make (Printf.sprintf "%s.Cell[%d][%d].nxt'" t.name pid mytag))
+  (* line 12 *);
+  (* lines 13-24: scan the Hd variables for the list head *)
+  let result = ref None in
+  let i = ref 1 in
+  while !result = None && !i <= t.v do
+    let h = ref (Q_cas.read t.hd.(!i - 1)) (* line 14 *) in
+    Eff.local (t.name ^ ".15");
+    if !i <= pri || t.priority !h.hid = !i (* line 15 *) then begin
+      if not (feedback t ~q:pid ~i:!i ~cmp:!h ~h) (* line 16 *) then
+        result := Some false
+      else begin
+        let nxt_obj = Shared.read (cell_of_hd t !h).nxt in
+        match Uni_consensus.read nxt_obj (* lines 17/20 *) with
+        | None -> result := Some (apply t ~pid ~pri ~old:expected ~new_:desired ~mytag !h)
+          (* line 18 *)
+        | Some np ->
+          Eff.local (t.name ^ ".19");
+          if !i <= pri (* line 19 *) then begin
+            let next = ref { hid = np.id; htag = np.tag; last = np.id } in
+            Eff.local (t.name ^ ".21");
+            if t.priority np.id = !i (* line 21 *) then begin
+              ignore (feedback t ~q:(pid + t.n) ~i:!i ~cmp:!h ~h:next) (* line 22 *);
+              let nxt2 = Shared.read (cell_of_hd t !next).nxt in
+              match Uni_consensus.read nxt2 (* line 23 *) with
+              | None ->
+                result :=
+                  Some (apply t ~pid ~pri ~old:expected ~new_:desired ~mytag !next)
+                (* line 24 *)
+              | Some _ -> ()
+            end
+          end
+      end
+    end;
+    incr i
+  done;
+  match !result with
+  | Some b -> b
+  | None ->
+    Eff.local (t.name ^ ".25");
+    false (* line 25: preempted throughout the scan; some C&S succeeded *)
+
+(* Fig. 5, procedure Read() — lines 46-62. *)
+let read t ~pid =
+  let pri = t.priority pid in
+  (* line 46: levels in order 1..V, with the own level visited last *)
+  let order = List.filter (fun i -> i <> pri) (List.init t.v (fun i -> i + 1)) @ [ pri ] in
+  let rhd = Array.make t.v { hid = t.n; htag = 0; last = t.n } in
+  let next = ref None in
+  let result = ref None in
+  List.iter
+    (fun i ->
+      if !result = None then begin
+        rhd.(i - 1) <- Q_cas.read t.hd.(i - 1) (* line 47 *);
+        Eff.local (t.name ^ ".48");
+        if i <= pri || t.priority rhd.(i - 1).hid = i (* line 48 *) then begin
+          let href = ref rhd.(i - 1) in
+          if not (feedback t ~q:pid ~i ~cmp:rhd.(i - 1) ~h:href) (* line 49 *) then
+            result := Some (Shared.read t.seen.(pri - 1)) (* line 50 *)
+          else begin
+            rhd.(i - 1) <- !href;
+            let nxt_obj = Shared.read (cell_of_hd t rhd.(i - 1)).nxt in
+            match Uni_consensus.read nxt_obj (* lines 51/54 *) with
+            | None ->
+              result := Some (Shared.read (cell_of_hd t rhd.(i - 1)).value)
+              (* line 52 *)
+            | Some np ->
+              Eff.local (t.name ^ ".53");
+              if i <= pri (* line 53 *) then begin
+                let nx = { hid = np.id; htag = np.tag; last = np.id } in
+                next := Some nx;
+                Eff.local (t.name ^ ".55");
+                if t.priority np.id = i (* line 55 *) then begin
+                  let nref = ref nx in
+                  ignore (feedback t ~q:(pid + t.n) ~i ~cmp:rhd.(i - 1) ~h:nref)
+                  (* line 56 *);
+                  next := Some !nref;
+                  let nxt2 = Shared.read (cell_of_hd t !nref).nxt in
+                  match Uni_consensus.read nxt2 (* line 57 *) with
+                  | None ->
+                    result := Some (Shared.read (cell_of_hd t !nref).value)
+                    (* line 58 *)
+                  | Some _ -> ()
+                end
+              end
+          end
+        end
+      end)
+    order;
+  match !result with
+  | Some value -> value
+  | None -> (
+    (* lines 59-61: some same- or higher-priority Hd must have changed *)
+    let changed = ref false in
+    for i = pri + 1 to t.v do
+      let cur = Q_cas.read t.hd.(i - 1) (* line 60 *) in
+      if cur <> rhd.(i - 1) then changed := true
+    done;
+    if !changed then Shared.read t.seen.(pri - 1) (* line 61 *)
+    else
+      (* line 62: it was a same-priority change *)
+      match !next with
+      | Some nx -> Shared.read (cell_of_hd t nx).value
+      | None -> assert false (* the own-level iteration always sets [next] *))
+
+let appends t = t.appends

@@ -1,0 +1,54 @@
+(** Fig. 5: wait-free compare-and-swap (and read) for hybrid-scheduled
+    uniprocessors, from reads and writes only, in O(V) time (Theorem 2).
+
+    The object is Herlihy's append-to-a-list construction specialized to
+    C&S: a linked list of cells, one per {e successful} non-trivial C&S;
+    the [nxt] pointers are read/write consensus objects (Fig. 3). Per
+    priority level there is one head variable [Hd[i]]; finding the head
+    is an O(V) scan guided by the invariant that some same-or-higher
+    [Hd[i]] points to the head or to the cell one behind it. Cell memory
+    is bounded: each process owns [4N+2] cells and picks a fresh tag per
+    operation with the constant-time tag-selection rule of [Anderson &
+    Moir, PODC '95] (exclude the last [2N] tags read from the feedback
+    matrix [A], the last [2N] tags selected, and the tag of the last cell
+    appended).
+
+    [Hd] variables are updated only by processes of their own level,
+    using the quantum-based C&S of {!Q_cas}; see DESIGN.md Substitution 2
+    for the one deviation from the paper (reads of [Hd] cost O(1 + lag)
+    statements instead of a single load; they remain linearizable and
+    read-only, so cross-level reads stay safe).
+
+    Interpretation notes (the published listing is an extended abstract):
+    - line 42's early exit fires after the process has already won the
+      [nxt] consensus at line 37, so it returns [true] (success), not
+      [false]: the operation is linearized, only the head bookkeeping is
+      skipped because a successor is already in place;
+    - lines 17/20 read the head cell's [nxt] consensus once and reuse the
+      value (it is stable once decided).
+
+    A C&S that would not change the state ("trivial", [expected = actual]
+    with [expected = desired]) returns without appending (lines 26–27).
+
+    Correctness is established empirically in this reproduction:
+    linearizability of concurrent [cas]/[read] histories is model-checked
+    and volume-tested in the E4 experiment and the test suite. *)
+
+type 'a t
+
+val make : config:Hwf_sim.Config.t -> name:string -> init:'a -> 'a t
+(** The [config] supplies the process table (N, priorities, V). All
+    accessing processes must be on one processor. *)
+
+val cas : 'a t -> pid:int -> expected:'a -> desired:'a -> bool
+(** The C&S procedure (Fig. 5 lines 8–45). A [false] may also be
+    returned when a concurrent successful C&S is detected, which is
+    always linearizable (the concurrent operation moved the value away
+    from [expected], or this operation may be ordered after it). *)
+
+val read : 'a t -> pid:int -> 'a
+(** The Read procedure (Fig. 5 lines 46–62). *)
+
+val appends : 'a t -> int
+(** Harness inspection: cells successfully appended (successful
+    non-trivial C&S operations) so far. Not a statement. *)

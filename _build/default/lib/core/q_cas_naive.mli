@@ -1,0 +1,32 @@
+(** The {e broken} "obvious" quantum-based C&S — kept as a machine-checked
+    ablation.
+
+    Announce, read, validate-the-announcement, then write: since the
+    quantum limits each invocation to one same-priority preemption, one
+    retry seems enough. It is not: a preemption landing {e between} the
+    validation and the write lets the resumed process clobber a
+    concurrent successful C&S with a write based on a stale read, and
+    with no statement after the write there is nowhere to detect it.
+    The test suite has the model checker derive a concrete
+    linearizability violation from exactly this window.
+
+    This is why the repository's real quantum-based C&S ({!Q_cas}) routes
+    every mutation through a consensus object (DESIGN.md, Substitution
+    2): the decision statement is simultaneously the test {e and} the
+    write, so the check-to-write window does not exist. The original
+    Anderson–Jain–Ott algorithms close the window with a
+    boundary-detection mechanism whose full code the paper only cites;
+    this module documents what goes wrong without one. *)
+
+type 'a t
+
+val make : string -> 'a -> 'a t
+
+val cas : 'a t -> who:int -> expected:'a -> desired:'a -> bool
+(** Linearizable only in the absence of check-to-write preemptions —
+    i.e. {b not} linearizable under quantum scheduling. *)
+
+val read : 'a t -> 'a
+
+val peek : 'a t -> 'a
+(** Harness inspection; not a statement. *)

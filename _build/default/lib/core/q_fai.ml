@@ -1,0 +1,9 @@
+type t = (int, unit, int) Chain.t
+
+let make name init = Chain.make ~name ~init ~apply:(fun s () -> (s + 1, s))
+
+let fetch_and_increment t ~who = Chain.invoke t ~who ()
+
+let read t = Chain.read t
+
+let peek t = Chain.peek_state t

@@ -1,0 +1,19 @@
+(** Quantum-based fetch-and-increment from reads and writes ("Q-F&I",
+    the paper's "local-F&I" in Fig. 7).
+
+    Same construction and contract as {!Q_cas}; see {!Chain} and
+    DESIGN.md Substitution 2. Returns the pre-increment value, matching
+    Fig. 7's use where [port := local-F&I(&Port[i,v])] claims the value
+    read and leaves the counter at the next free port. *)
+
+type t
+
+val make : string -> int -> t
+
+val fetch_and_increment : t -> who:int -> int
+(** Atomically increments and returns the {e pre}-increment value. *)
+
+val read : t -> int
+
+val peek : t -> int
+(** Harness inspection; not a statement. *)

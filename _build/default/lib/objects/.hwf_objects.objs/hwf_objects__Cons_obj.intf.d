@@ -1,0 +1,1 @@
+lib/objects/cons_obj.mli:

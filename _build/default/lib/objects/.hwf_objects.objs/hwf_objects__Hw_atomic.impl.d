@@ -1,0 +1,1 @@
+lib/objects/hw_atomic.ml: Eff Hwf_sim Op

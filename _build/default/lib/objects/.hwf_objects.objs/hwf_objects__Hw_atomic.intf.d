@@ -1,0 +1,1 @@
+lib/objects/hw_atomic.mli:

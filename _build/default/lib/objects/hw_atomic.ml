@@ -1,0 +1,29 @@
+open Hwf_sim
+
+type 'a t = { name : string; mutable v : 'a }
+
+let make name v = { name; v }
+
+let read t =
+  Eff.step (Op.read t.name);
+  t.v
+
+let write t x =
+  Eff.step (Op.write t.name);
+  t.v <- x
+
+let cas t ~expected ~desired =
+  Eff.step (Op.rmw ~var:t.name ~kind:"C&S");
+  if t.v = expected then begin
+    t.v <- desired;
+    true
+  end
+  else false
+
+let fetch_and_add t d =
+  Eff.step (Op.rmw ~var:t.name ~kind:"F&A");
+  let old = t.v in
+  t.v <- old + d;
+  old
+
+let peek t = t.v

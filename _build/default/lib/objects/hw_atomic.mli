@@ -1,0 +1,22 @@
+(** Hardware read-modify-write primitives.
+
+    Used by baselines and examples only — the paper's point is precisely
+    that its constructions avoid needing these on a uniprocessor. Each
+    operation is one atomic statement. *)
+
+type 'a t
+
+val make : string -> 'a -> 'a t
+
+val read : 'a t -> 'a
+
+val write : 'a t -> 'a -> unit
+
+val cas : 'a t -> expected:'a -> desired:'a -> bool
+(** Compare-and-swap with structural equality on ['a]. *)
+
+val fetch_and_add : int t -> int -> int
+(** Returns the pre-increment value. *)
+
+val peek : 'a t -> 'a
+(** Harness inspection; not a statement. *)

@@ -1,0 +1,1 @@
+lib/sim/analysis.ml: Array Config Fmt List Proc Trace

@@ -1,0 +1,1 @@
+lib/sim/eff.mli: Effect Op

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Config Eff Effect Fmt List Op Policy Proc Trace

@@ -1,0 +1,1 @@
+lib/sim/render.ml: Array Buffer Bytes Config Fmt Fun List Printf Proc Trace

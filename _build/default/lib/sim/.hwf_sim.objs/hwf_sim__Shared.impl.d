@@ -1,0 +1,1 @@
+lib/sim/shared.ml: Array Eff Op Printf

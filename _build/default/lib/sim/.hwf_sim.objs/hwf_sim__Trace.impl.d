@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Config Fmt Op Printf Proc Vec

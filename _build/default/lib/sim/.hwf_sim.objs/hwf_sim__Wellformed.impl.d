@@ -1,0 +1,1 @@
+lib/sim/wellformed.ml: Array Config Fmt List Proc Trace

@@ -1,0 +1,1 @@
+lib/sim/wellformed.mli: Fmt Proc Trace

@@ -1,0 +1,134 @@
+type inv_stat = {
+  pid : Proc.pid;
+  inv : int;
+  label : string;
+  statements : int;
+  same_level_preemptions : int;
+  higher_level_preemptions : int;
+  completed : bool;
+}
+
+type t = {
+  invocations : inv_stat list;
+  switches : int;
+  per_pid_statements : int array;
+  max_invocation_statements : int;
+  same_level_preemptions : int;
+  higher_level_preemptions : int;
+}
+
+(* Per-pid in-flight invocation accumulator. *)
+type acc = {
+  mutable label : string;
+  mutable inv : int;
+  mutable statements : int;
+  mutable same : int;
+  mutable higher : int;
+  mutable open_ : bool;
+  (* during a gap: the strongest foreign activity seen since our last
+     statement; [ `None | `Same | `Higher ] *)
+  mutable gap : [ `None | `Same | `Higher ];
+}
+
+let of_trace trace =
+  let config = Trace.config trace in
+  let n = Config.n config in
+  let priority = Array.map (fun (p : Proc.t) -> p.Proc.priority) config.Config.procs in
+  let processor pid = config.Config.procs.(pid).Proc.processor in
+  let accs =
+    Array.init n (fun _ ->
+        { label = ""; inv = 0; statements = 0; same = 0; higher = 0; open_ = false; gap = `None })
+  in
+  let finished = ref [] in
+  let switches = ref 0 in
+  let per_pid = Array.make n 0 in
+  let max_inv = ref 0 in
+  let last_pid = ref (-1) in
+  let close pid completed =
+    let a = accs.(pid) in
+    if a.open_ then begin
+      finished :=
+        {
+          pid;
+          inv = a.inv;
+          label = a.label;
+          statements = a.statements;
+          same_level_preemptions = a.same;
+          higher_level_preemptions = a.higher;
+          completed;
+        }
+        :: !finished;
+      max_inv := max !max_inv a.statements;
+      a.open_ <- false
+    end
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Set_priority { pid; priority = p } -> priority.(pid) <- p
+      | Trace.Inv_begin { pid; inv; label } ->
+        let a = accs.(pid) in
+        a.label <- label;
+        a.inv <- inv;
+        a.statements <- 0;
+        a.same <- 0;
+        a.higher <- 0;
+        a.gap <- `None;
+        a.open_ <- true
+      | Trace.Inv_end { pid; _ } -> close pid true
+      | Trace.Note _ -> ()
+      | Trace.Stmt { pid; _ } ->
+        if !last_pid >= 0 && !last_pid <> pid then incr switches;
+        last_pid := pid;
+        per_pid.(pid) <- per_pid.(pid) + 1;
+        let a = accs.(pid) in
+        if a.open_ then begin
+          (* settle any pending gap as a preemption *)
+          (match a.gap with
+          | `None -> ()
+          | `Same -> a.same <- a.same + 1
+          | `Higher -> a.higher <- a.higher + 1);
+          a.gap <- `None;
+          a.statements <- a.statements + 1
+        end;
+        (* this statement contributes to every other open invocation's gap
+           on the same processor *)
+        for q = 0 to n - 1 do
+          if q <> pid && processor q = processor pid && accs.(q).open_
+             && accs.(q).statements > 0
+          then begin
+            let cls = if priority.(pid) > priority.(q) then `Higher else `Same in
+            match (accs.(q).gap, cls) with
+            | `Higher, _ -> ()
+            | _, `Higher -> accs.(q).gap <- `Higher
+            | _, `Same -> accs.(q).gap <- `Same
+          end
+        done)
+    (Trace.events trace);
+  for pid = 0 to n - 1 do
+    close pid false
+  done;
+  let invocations = List.rev !finished in
+  {
+    invocations;
+    switches = !switches;
+    per_pid_statements = per_pid;
+    max_invocation_statements = !max_inv;
+    same_level_preemptions =
+      List.fold_left (fun acc (i : inv_stat) -> acc + i.same_level_preemptions) 0 invocations;
+    higher_level_preemptions =
+      List.fold_left (fun acc (i : inv_stat) -> acc + i.higher_level_preemptions) 0 invocations;
+  }
+
+let max_same_level_preemptions_per_invocation t =
+  List.fold_left (fun acc (i : inv_stat) -> max acc i.same_level_preemptions) 0 t.invocations
+
+let pp_summary ppf t =
+  Fmt.pf ppf
+    "@[<v>invocations: %d@,switches: %d@,max statements/invocation: %d@,\
+     same-level preemptions: %d (max %d per invocation)@,\
+     higher-level preemptions: %d@]"
+    (List.length t.invocations) t.switches t.max_invocation_statements
+    t.same_level_preemptions
+    (max_same_level_preemptions_per_invocation t)
+    t.higher_level_preemptions

@@ -1,0 +1,36 @@
+(** Trace analytics: the per-invocation quantities the paper's arguments
+    reason about, derived from a recorded history.
+
+    A {e preemption} of an invocation is a maximal gap between two of its
+    statements in which other processes on the same processor executed;
+    each preemption is classified by the highest priority that ran during
+    the gap relative to the preempted process's (dynamic) priority —
+    same-level preemptions are the ones Axiom 2 rations, higher-level
+    ones are the ones Axiom 1 permits freely. *)
+
+type inv_stat = {
+  pid : Proc.pid;
+  inv : int;
+  label : string;
+  statements : int;
+  same_level_preemptions : int;
+  higher_level_preemptions : int;
+  completed : bool;
+}
+
+type t = {
+  invocations : inv_stat list;  (** In begin order. *)
+  switches : int;  (** Statement-to-statement process changes. *)
+  per_pid_statements : int array;
+  max_invocation_statements : int;
+  same_level_preemptions : int;  (** Totals over all invocations. *)
+  higher_level_preemptions : int;
+}
+
+val of_trace : Trace.t -> t
+
+val max_same_level_preemptions_per_invocation : t -> int
+(** The quantity Theorem 1/2's quantum conditions bound: with [Q] at
+    least the invocation length, this is at most 1. *)
+
+val pp_summary : t Fmt.t

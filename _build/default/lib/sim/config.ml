@@ -1,0 +1,58 @@
+type t = {
+  procs : Proc.t array;
+  processors : int;
+  quantum : int;
+  levels : int;
+  axiom2 : bool;
+  tmin : int;
+  tmax : int;
+}
+
+let make ?(axiom2 = true) ?(tmin = 1) ?(tmax = 1) ~quantum ~processors ~levels procs =
+  let procs = Array.of_list procs in
+  if quantum < 0 then invalid_arg "Config.make: quantum < 0";
+  if tmin < 1 || tmax < tmin then invalid_arg "Config.make: need 1 <= tmin <= tmax";
+  if processors < 1 then invalid_arg "Config.make: processors < 1";
+  if levels < 1 then invalid_arg "Config.make: levels < 1";
+  Array.iteri
+    (fun i (p : Proc.t) ->
+      if p.pid <> i then invalid_arg "Config.make: pids must be 0..N-1 in order";
+      if p.processor < 0 || p.processor >= processors then
+        invalid_arg "Config.make: processor out of range";
+      if p.priority < 1 || p.priority > levels then
+        invalid_arg "Config.make: priority out of range")
+    procs;
+  { procs; processors; quantum; levels; axiom2; tmin; tmax }
+
+let uniprocessor ?axiom2 ?tmin ?tmax ~quantum ~levels procs =
+  make ?axiom2 ?tmin ?tmax ~quantum ~processors:1 ~levels procs
+
+let n t = Array.length t.procs
+
+let procs_on t i =
+  Array.to_list t.procs |> List.filter (fun (p : Proc.t) -> p.processor = i)
+
+let max_per_processor t =
+  let counts = Array.make t.processors 0 in
+  Array.iter (fun (p : Proc.t) -> counts.(p.processor) <- counts.(p.processor) + 1) t.procs;
+  Array.fold_left max 0 counts
+
+let is_pure_priority t =
+  let ok = ref true in
+  for i = 0 to t.processors - 1 do
+    let pris = procs_on t i |> List.map (fun (p : Proc.t) -> p.priority) in
+    let sorted = List.sort_uniq compare pris in
+    if List.length sorted <> List.length pris then ok := false
+  done;
+  !ok
+
+let is_pure_quantum t =
+  match Array.to_list t.procs with
+  | [] -> true
+  | p :: rest -> List.for_all (fun (q : Proc.t) -> q.priority = p.priority) rest
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>P=%d Q=%d V=%d axiom2=%b N=%d@,%a@]" t.processors t.quantum
+    t.levels t.axiom2 (n t)
+    Fmt.(list ~sep:(any "@,") Proc.pp)
+    (Array.to_list t.procs)

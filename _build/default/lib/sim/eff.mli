@@ -1,0 +1,52 @@
+(** The effect vocabulary connecting process code to the engine.
+
+    Process bodies are ordinary OCaml functions. Each atomic statement is
+    announced by performing {!step} (or one of its wrappers in
+    {!Shared}); the engine executes exactly one statement per scheduling
+    decision, so the code between two performs runs atomically — this is
+    what makes "quantum = statement count" exact.
+
+    Invocation boundaries ({!invocation}) are not statements: they are
+    the thinking/ready transitions of the paper's long-lived-object
+    model. A process suspended at an invocation boundary is {e thinking}
+    and has no enabled statement; the scheduler decides when it wakes. *)
+
+val step : Op.t -> unit
+(** Announce that the next atomic statement is about to execute.
+    Everything up to the next perform runs atomically. Must only be
+    called from code running under {!Engine.run}. *)
+
+val local : string -> unit
+(** [local l] is [step (Op.local l)]: a numbered statement that touches
+    only private variables. *)
+
+val invocation : string -> (unit -> 'a) -> 'a
+(** [invocation label body] brackets [body] as one object invocation:
+    the process transits thinking → ready before the first statement of
+    [body] and ready → thinking after its last. *)
+
+val note : string -> unit
+(** Zero-cost trace annotation (not a statement). *)
+
+val now : unit -> int
+(** The global statement count so far. Zero-cost (not a statement); used
+    by history recorders to timestamp operation intervals. *)
+
+val set_priority : int -> unit
+(** Change the calling process's priority (Sec. 5: dynamic priorities).
+    Only legal between invocations — "a process's priority cannot change
+    during an object invocation" — and zero-cost (priority management is
+    the scheduler's business, not a shared-memory statement).
+    @raise Invalid_argument if performed mid-invocation or if the level
+    is outside [1..V]. *)
+
+(**/**)
+
+(* Exposed for the engine only. *)
+type _ Effect.t +=
+  | Step : Op.t -> unit Effect.t
+  | Inv_begin : string -> unit Effect.t
+  | Inv_end : string -> unit Effect.t
+  | Note : string -> unit Effect.t
+  | Now : int Effect.t
+  | Set_priority : int -> unit Effect.t

@@ -1,0 +1,244 @@
+open Effect.Deep
+
+type stop_reason = All_finished | Policy_stopped | Step_limit
+
+type result = {
+  trace : Trace.t;
+  finished : bool array;
+  own_steps : int array;
+  stop : stop_reason;
+}
+
+type pstate =
+  | Boundary of (unit, unit) continuation
+      (* Thinking, suspended just before the next invocation's body. *)
+  | Ready of (unit, unit) continuation * Op.t
+      (* Mid-invocation (or about to start one), next statement pending. *)
+  | Finished
+
+type cell = {
+  info : Proc.t;
+  mutable priority : int;  (* current priority; Sec. 5 dynamic priorities *)
+  mutable state : pstate;
+  mutable inv : int;  (* invocations begun so far *)
+  mutable inv_label : string;  (* label of the pending/current invocation *)
+  mutable mid_inv : bool;
+  mutable own_steps : int;
+  mutable inv_steps : int;
+  mutable pending : bool;  (* preempted since its last statement *)
+  mutable guarantee : int;  (* remaining protected statements (Axiom 2) *)
+}
+
+let run ?(step_limit = 1_000_000) ?cost ~(config : Config.t) ~(policy : Policy.t)
+    programs =
+  let n = Config.n config in
+  if Array.length programs <> n then
+    invalid_arg "Engine.run: program count <> process count";
+  let trace = Trace.create config in
+  let cost_of =
+    match cost with
+    | None -> fun _view _pid _op -> config.tmin
+    | Some f ->
+      fun view pid op -> max config.tmin (min config.tmax (f view pid op))
+  in
+  let cells =
+    Array.init n (fun pid ->
+        {
+          info = config.procs.(pid);
+          priority = config.procs.(pid).Proc.priority;
+          state = Finished (* replaced below *);
+          inv = 0;
+          inv_label = "";
+          mid_inv = false;
+          own_steps = 0;
+          inv_steps = 0;
+          pending = false;
+          guarantee = 0;
+        })
+  in
+  let cur = ref cells.(0) in
+  (* Record that [c]'s next invocation begins now. *)
+  let begin_inv c =
+    c.mid_inv <- true;
+    c.inv_steps <- 0;
+    Trace.add trace (Trace.Inv_begin { pid = c.info.pid; inv = c.inv; label = c.inv_label });
+    c.inv <- c.inv + 1
+  in
+  let end_inv c label =
+    if not c.mid_inv then begin_inv c (* empty invocation *);
+    c.mid_inv <- false;
+    c.pending <- false;
+    c.guarantee <- 0;
+    c.inv_steps <- 0;
+    Trace.add trace (Trace.Inv_end { pid = c.info.pid; inv = c.inv - 1; label })
+  in
+  let handler =
+    {
+      retc = (fun () -> !cur.state <- Finished);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (e : a Effect.t) ->
+          match e with
+          | Eff.Step op ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let c = !cur in
+                c.state <- Ready (k, op))
+          | Eff.Inv_begin label ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let c = !cur in
+                if c.mid_inv then
+                  Fmt.invalid_arg "Eff.invocation: nested invocation %S in %s" label
+                    c.info.name;
+                c.inv_label <- label;
+                c.state <- Boundary k)
+          | Eff.Inv_end label ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                end_inv !cur label;
+                continue k ())
+          | Eff.Note text ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                Trace.add trace (Trace.Note { pid = !cur.info.pid; text });
+                continue k ())
+          | Eff.Now ->
+            Some
+              (fun (k : (a, unit) continuation) -> continue k (Trace.statements trace))
+          | Eff.Set_priority p ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let c = !cur in
+                if c.mid_inv then
+                  invalid_arg "Eff.set_priority: cannot change priority mid-invocation";
+                if p < 1 || p > config.levels then
+                  invalid_arg "Eff.set_priority: level out of range";
+                c.priority <- p;
+                Trace.add trace (Trace.Set_priority { pid = c.info.pid; priority = p });
+                continue k ())
+          | _ -> None);
+    }
+  in
+  (* Launch every process up to its first suspension point. *)
+  Array.iteri
+    (fun pid body ->
+      cur := cells.(pid);
+      match_with body () handler)
+    programs;
+  (* True while [c] may legally execute its next statement (wake fused in). *)
+  let max_ready_level processor =
+    Array.fold_left
+      (fun acc c ->
+        match c.state with
+        | Ready _ when c.info.processor = processor -> max acc c.priority
+        | Ready _ | Boundary _ | Finished -> acc)
+      0 cells
+  in
+  let guarded_by_other c =
+    config.axiom2
+    && Array.exists
+         (fun q ->
+           q != c
+           && q.info.processor = c.info.processor
+           && q.priority = c.priority
+           && q.guarantee > 0)
+         cells
+  in
+  let runnable c =
+    match c.state with
+    | Finished -> false
+    | Ready _ | Boundary _ ->
+      c.priority >= max_ready_level c.info.processor && not (guarded_by_other c)
+  in
+  let pview c : Policy.pview =
+    {
+      pid = c.info.pid;
+      processor = c.info.processor;
+      priority = c.priority;
+      phase =
+        (match c.state with
+        | Finished -> Policy.Finished
+        | Ready _ -> Policy.Ready
+        | Boundary _ -> Policy.Thinking);
+      next_op = (match c.state with Ready (_, op) -> Some op | _ -> None);
+      own_steps = c.own_steps;
+      inv_steps = c.inv_steps;
+      inv = c.inv;
+      guarantee = c.guarantee;
+      pending = c.pending;
+    }
+  in
+  let is_finished c = match c.state with Finished -> true | Ready _ | Boundary _ -> false in
+  let all_finished () = Array.for_all is_finished cells in
+  let stop = ref All_finished in
+  (try
+     while not (all_finished ()) do
+       if Trace.statements trace >= step_limit then begin
+         stop := Step_limit;
+         raise Exit
+       end;
+       let runnable_pids =
+         Array.to_list cells
+         |> List.filter runnable
+         |> List.map (fun c -> c.info.pid)
+       in
+       assert (runnable_pids <> []);
+       let view : Policy.view =
+         {
+           step = Trace.statements trace;
+           runnable = runnable_pids;
+           procs = Array.map pview cells;
+         }
+       in
+       match policy.choose view with
+       | None ->
+         stop := Policy_stopped;
+         raise Exit
+       | Some pid ->
+         if not (List.mem pid runnable_pids) then
+           Fmt.invalid_arg "Engine.run: policy %s chose non-runnable %a" policy.name
+             Proc.pp_pid pid;
+         let c = cells.(pid) in
+         (* Wake: advance through the invocation boundary if thinking. *)
+         (match c.state with
+         | Boundary k ->
+           cur := c;
+           continue k ()
+         | Ready _ | Finished -> ());
+         (match c.state with
+         | Ready (k, op) ->
+           if not c.mid_inv then begin_inv c;
+           if c.pending then begin
+             (* Axiom 2: resuming after a preemption grants Q protected
+                statements (this one included). *)
+             c.pending <- false;
+             c.guarantee <- config.quantum
+           end;
+           let cost = cost_of view pid op in
+           Trace.add trace
+             (Trace.Stmt { idx = Trace.statements trace; pid; op; inv = c.inv - 1; cost });
+           c.own_steps <- c.own_steps + 1;
+           c.inv_steps <- c.inv_steps + 1;
+           c.guarantee <- max 0 (c.guarantee - cost);
+           (* Everyone else mid-invocation on this processor is now
+              preempted-before-its-next-statement. *)
+           Array.iter
+             (fun q ->
+               if q != c && q.info.processor = c.info.processor && q.mid_inv then
+                 q.pending <- true)
+             cells;
+           cur := c;
+           continue k ()
+         | Boundary _ | Finished ->
+           (* The wake consumed an empty invocation, or the body finished
+              without executing a statement: the decision was a no-op. *)
+           ())
+     done
+   with Exit -> ());
+  {
+    trace;
+    finished = Array.map is_finished cells;
+    own_steps = Array.map (fun c -> c.own_steps) cells;
+    stop = !stop;
+  }

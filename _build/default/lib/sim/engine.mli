@@ -1,0 +1,58 @@
+(** The execution engine.
+
+    Implements the paper's model of program execution (Sec. 2) on top of
+    OCaml effect handlers. Each process is a direct-style function; each
+    atomic statement is announced by an {!Eff.step}; the engine executes
+    exactly one statement per scheduling decision and enforces
+    well-formedness:
+
+    - {b Axiom 1} (priority scheduling): a statement of process [q] may
+      execute only if no higher-priority process on [q]'s processor has
+      an enabled statement (i.e. is ready mid-invocation).
+    - {b Axiom 2} (quantum scheduling): if a process [p] was preempted —
+      some other process on its processor executed a statement between
+      two statements of [p]'s current invocation — then once [p] resumes,
+      no equal-priority process on its processor may execute until [p]
+      has executed [Q] statements or [p]'s invocation terminates. The
+      first preemption of an invocation may occur at any point (the
+      process's quantum alignment on entry is arbitrary, as in the
+      lower-bound model of Sec. 4.1 / Appendix A).
+
+    Processors interleave freely with respect to one another: any
+    interleaving of statements across processors is schedulable, which
+    models true multiprocessor parallelism at statement granularity. *)
+
+type stop_reason =
+  | All_finished
+  | Policy_stopped  (** The policy returned [None]. *)
+  | Step_limit  (** The statement budget was exhausted. *)
+
+type result = {
+  trace : Trace.t;
+  finished : bool array;  (** Indexed by pid. *)
+  own_steps : int array;  (** Statements executed, per pid. *)
+  stop : stop_reason;
+}
+
+val run :
+  ?step_limit:int ->
+  ?cost:(Policy.view -> Proc.pid -> Op.t -> int) ->
+  config:Config.t ->
+  policy:Policy.t ->
+  (unit -> unit) array ->
+  result
+(** [run ~config ~policy programs] executes [programs.(pid)] for each
+    process of [config] under [policy]. [step_limit] (default 1_000_000)
+    bounds total statements.
+
+    [cost] chooses each statement's duration in time units, clamped to
+    the configuration's [tmin..tmax] (default: every statement costs
+    [tmin]). In the time model the quantum guarantee of Axiom 2 protects
+    [Q] time units rather than [Q] statements, so an adversarial [cost]
+    of [tmax] shrinks the number of protected statements — the Tmax/Tmin
+    structure of Table 1.
+
+    @raise Invalid_argument if the program count differs from the process
+    count.
+    @raise Stdlib.Exit never; exceptions raised by process bodies
+    propagate. *)

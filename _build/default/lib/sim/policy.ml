@@ -1,0 +1,86 @@
+type phase = Thinking | Ready | Finished
+
+type pview = {
+  pid : Proc.pid;
+  processor : int;
+  priority : int;
+  phase : phase;
+  next_op : Op.t option;
+  own_steps : int;
+  inv_steps : int;
+  inv : int;
+  guarantee : int;
+  pending : bool;
+}
+
+type view = { step : int; runnable : Proc.pid list; procs : pview array }
+
+type t = { name : string; choose : view -> Proc.pid option }
+
+let of_fun name choose = { name; choose }
+
+let round_robin () =
+  let last = ref (-1) in
+  of_fun "round-robin" (fun v ->
+      match v.runnable with
+      | [] -> None
+      | l ->
+        let pick =
+          match List.find_opt (fun p -> p > !last) l with
+          | Some p -> p
+          | None -> List.hd l
+        in
+        last := pick;
+        Some pick)
+
+let random ~seed =
+  let st = Random.State.make [| seed |] in
+  of_fun (Printf.sprintf "random(%d)" seed) (fun v ->
+      match v.runnable with
+      | [] -> None
+      | l -> Some (List.nth l (Random.State.int st (List.length l))))
+
+let scripted ?fallback script =
+  let remaining = ref script in
+  of_fun "scripted" (fun v ->
+      let rec next () =
+        match !remaining with
+        | [] -> (match fallback with Some f -> f.choose v | None -> None)
+        | pid :: rest ->
+          if List.mem pid v.runnable then begin
+            remaining := rest;
+            Some pid
+          end
+          else begin
+            match fallback with
+            | Some _ ->
+              remaining := rest;
+              next ()
+            | None -> None
+          end
+      in
+      next ())
+
+let first =
+  of_fun "first" (fun v -> match v.runnable with [] -> None | pid :: _ -> Some pid)
+
+let highest_pid =
+  of_fun "highest-pid" (fun v ->
+      match List.rev v.runnable with [] -> None | pid :: _ -> Some pid)
+
+let by_priority =
+  of_fun "by-priority" (fun v ->
+      match v.runnable with
+      | [] -> None
+      | first :: rest ->
+        Some
+          (List.fold_left
+             (fun best p ->
+               if v.procs.(p).priority > v.procs.(best).priority then p else best)
+             first rest))
+
+let prefer pids ~fallback =
+  of_fun "prefer" (fun v ->
+      match List.find_opt (fun p -> List.mem p v.runnable) pids with
+      | Some p -> Some p
+      | None -> fallback.choose v)

@@ -1,0 +1,74 @@
+(** Scheduling policies.
+
+    All nondeterminism in a run flows through one policy: at each step the
+    engine computes the set of processes that may legally execute the next
+    atomic statement (per Axiom 1, Axiom 2 and the thinking/ready rules)
+    and the policy picks one, or stops the run.
+
+    Waking a thinking process is fused with running its first statement:
+    a ready-but-never-scheduled process is observationally equivalent to
+    one that is still thinking, except that a ready higher-priority
+    process blocks lower ones — which is exactly the behaviour obtained
+    by waking it at the moment it first runs. This keeps the decision
+    space one-dimensional, which the model checker exploits.
+
+    The scheduler may legally starve any process ("a scheduler on some
+    processor may choose to never allocate a quantum to some ready
+    process" — Sec. 2); a policy models this simply by never picking it. *)
+
+type phase = Thinking | Ready | Finished
+
+type pview = {
+  pid : Proc.pid;
+  processor : int;
+  priority : int;
+  phase : phase;
+  next_op : Op.t option;  (** The statement that would execute next, when ready. *)
+  own_steps : int;  (** Statements executed so far. *)
+  inv_steps : int;  (** Statements executed in the current invocation. *)
+  inv : int;  (** Invocations begun so far. *)
+  guarantee : int;  (** Remaining statements of quantum protection. *)
+  pending : bool;  (** Was preempted since its last statement. *)
+}
+
+type view = {
+  step : int;  (** Global statement count so far. *)
+  runnable : Proc.pid list;  (** Legal choices, ascending pid order. *)
+  procs : pview array;  (** Indexed by pid. *)
+}
+
+type t = { name : string; choose : view -> Proc.pid option }
+
+val of_fun : string -> (view -> Proc.pid option) -> t
+
+val round_robin : unit -> t
+(** Cycles fairly through runnable processes in pid order; wakes thinking
+    processes eagerly. Every process makes progress — a "fair" scheduler
+    in the Sec. 5 sense. Stateful: create a fresh one per run. *)
+
+val random : seed:int -> t
+(** Picks uniformly among runnable processes. Deterministic per seed. *)
+
+val scripted : ?fallback:t -> Proc.pid list -> t
+(** Follows the given pid sequence, skipping entries that are not
+    currently runnable only if a [fallback] is given (otherwise such an
+    entry stops the run). When the script is exhausted, defers to
+    [fallback], or stops. The adversarial constructions of Sec. 4.1 are
+    expressed as scripts. *)
+
+val first : t
+(** Always the lowest-pid runnable process. Deterministic baseline. *)
+
+val highest_pid : t
+(** Always the highest-pid runnable process — handy for "let the writer
+    finish first" test setups. *)
+
+val by_priority : t
+(** Runs the runnable process with the highest current priority (ties by
+    lowest pid), waking thinking processes eagerly — the shape of a real
+    RTOS dispatcher. *)
+
+val prefer : Proc.pid list -> fallback:t -> t
+(** Picks the first process of [pids] (in order) that is runnable;
+    otherwise defers to [fallback]. The building block for targeted
+    starvation and ordering scenarios. *)

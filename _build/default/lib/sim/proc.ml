@@ -1,0 +1,12 @@
+type pid = int
+
+type t = { pid : pid; processor : int; priority : int; name : string }
+
+let make ?name ~pid ~processor ~priority () =
+  let name = match name with Some n -> n | None -> Printf.sprintf "p%d" (pid + 1) in
+  { pid; processor; priority; name }
+
+let pp_pid ppf pid = Fmt.pf ppf "p%d" (pid + 1)
+
+let pp ppf t =
+  Fmt.pf ppf "%s(cpu=%d,pri=%d)" t.name (t.processor + 1) t.priority

@@ -1,0 +1,25 @@
+(** Process identities.
+
+    Following the paper's model (Sec. 2): the system has [N] processes,
+    each statically assigned to one of [P] processors and given a static
+    priority in [1..V] where [V] is the highest priority. Process ids are
+    0-based internally; printers render them 1-based like the paper. *)
+
+type pid = int
+(** Process identifier, [0 .. N-1]. *)
+
+type t = {
+  pid : pid;
+  processor : int;  (** 0-based processor index, [0 .. P-1]. *)
+  priority : int;  (** Priority level in [1 .. V]; larger is higher. *)
+  name : string;  (** Human-readable label used in traces. *)
+}
+
+val make : ?name:string -> pid:pid -> processor:int -> priority:int -> unit -> t
+(** [make ~pid ~processor ~priority ()] builds a process descriptor. The
+    default [name] is ["p<pid+1>"]. *)
+
+val pp : t Fmt.t
+
+val pp_pid : pid Fmt.t
+(** Renders a pid 1-based, e.g. [p3]. *)

@@ -1,0 +1,19 @@
+(** ASCII interleaving diagrams in the style of the paper's Figs. 1 and 2.
+
+    Each process gets one lane; time (global statement index) runs left
+    to right. Within a lane:
+
+    - ['['] / [']'] bracket an object invocation (as in the paper),
+    - ['='] marks a statement executed by the process,
+    - ['.'] marks a point where the process is mid-invocation but another
+      process is executing (i.e. it is preempted),
+    - [' '] marks thinking time.
+
+    For uniprocessor traces a ruler row marks every [Q]-th statement so
+    quantum boundaries are visible (cf. Fig. 2). *)
+
+val lanes : ?max_width:int -> Trace.t -> string
+(** Multi-line diagram, highest-priority process first. Truncates to
+    [max_width] columns (default 200) with an ellipsis marker. *)
+
+val pp : Trace.t Fmt.t

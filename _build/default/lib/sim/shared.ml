@@ -1,0 +1,24 @@
+type 'a t = { mutable v : 'a; name : string }
+
+let make name v = { v; name }
+
+let name t = t.name
+
+let read t =
+  Eff.step (Op.read t.name);
+  t.v
+
+let write t x =
+  Eff.step (Op.write t.name);
+  t.v <- x
+
+let peek t = t.v
+let poke t x = t.v <- x
+
+let array name n init =
+  Array.init n (fun i -> make (Printf.sprintf "%s[%d]" name (i + 1)) (init i))
+
+let matrix name rows cols init =
+  Array.init rows (fun i ->
+      Array.init cols (fun j ->
+          make (Printf.sprintf "%s[%d][%d]" name (i + 1) (j + 1)) (init i j)))

@@ -1,0 +1,38 @@
+(** Shared variables.
+
+    A ['a t] is a single-word shared variable in the paper's sense: reads
+    and writes of it are atomic statements. Records the paper stores "in
+    one word" (e.g. [hdtype]) are represented directly as OCaml values
+    held in one variable, which preserves the atomicity granularity.
+
+    Each access performs exactly one {!Eff.step}, so accesses are visible
+    to the scheduler and counted against the quantum. *)
+
+type 'a t
+
+val make : string -> 'a -> 'a t
+(** [make name init] creates a shared variable. [name] appears in traces. *)
+
+val name : 'a t -> string
+
+val read : 'a t -> 'a
+(** Atomic read (one statement). *)
+
+val write : 'a t -> 'a -> unit
+(** Atomic write (one statement). *)
+
+val peek : 'a t -> 'a
+(** Read the current value {e without} consuming a statement. For test
+    harnesses and checkers inspecting quiescent state only — never call
+    from process code. *)
+
+val poke : 'a t -> 'a -> unit
+(** Initialize/overwrite without consuming a statement. Harness use only. *)
+
+val array : string -> int -> (int -> 'a) -> 'a t array
+(** [array name n init] creates [n] shared variables named
+    [name[1]] … [name[n]], element [i] initialized to [init i]
+    (0-based [i]; names render 1-based like the paper). *)
+
+val matrix : string -> int -> int -> (int -> int -> 'a) -> 'a t array array
+(** Two-dimensional variant: [name[i][j]]. *)

@@ -1,0 +1,48 @@
+type event =
+  | Stmt of { idx : int; pid : Proc.pid; op : Op.t; inv : int; cost : int }
+  | Inv_begin of { pid : Proc.pid; inv : int; label : string }
+  | Inv_end of { pid : Proc.pid; inv : int; label : string }
+  | Note of { pid : Proc.pid; text : string }
+  | Set_priority of { pid : Proc.pid; priority : int }
+
+type t = { config : Config.t; events : event Vec.t; mutable stmts : int; mutable time : int }
+
+let create config = { config; events = Vec.create (); stmts = 0; time = 0 }
+
+let config t = t.config
+
+let add t e =
+  (match e with
+  | Stmt { cost; _ } ->
+    t.stmts <- t.stmts + 1;
+    t.time <- t.time + cost
+  | _ -> ());
+  Vec.push t.events e
+
+let events t = Vec.to_list t.events
+
+let length t = Vec.length t.events
+
+let statements t = t.stmts
+
+let time t = t.time
+
+let own_statements t pid =
+  Vec.fold_left
+    (fun acc e -> match e with Stmt s when s.pid = pid -> acc + 1 | _ -> acc)
+    0 t.events
+
+let pp_event ppf = function
+  | Stmt { idx; pid; op; inv; cost } ->
+    Fmt.pf ppf "%4d  %a.%d  %a%s" idx Proc.pp_pid pid inv Op.pp op
+      (if cost = 1 then "" else Printf.sprintf " (cost %d)" cost)
+  | Inv_begin { pid; inv; label } ->
+    Fmt.pf ppf "      %a.%d  BEGIN %s" Proc.pp_pid pid inv label
+  | Inv_end { pid; inv; label } ->
+    Fmt.pf ppf "      %a.%d  END %s" Proc.pp_pid pid inv label
+  | Note { pid; text } -> Fmt.pf ppf "      %a  -- %s" Proc.pp_pid pid text
+  | Set_priority { pid; priority } ->
+    Fmt.pf ppf "      %a  PRIORITY := %d" Proc.pp_pid pid priority
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@,") pp_event) (events t)

@@ -1,0 +1,46 @@
+(** Execution histories.
+
+    A trace is the machine-readable form of the paper's notion of a
+    history: the sequence of atomic statement executions, interleaved
+    with invocation boundaries and free-form notes. Traces are the input
+    to the well-formedness checker ({!Wellformed}), the interleaving
+    renderer ({!Render}) and the linearizability checker. *)
+
+type event =
+  | Stmt of { idx : int; pid : Proc.pid; op : Op.t; inv : int; cost : int }
+      (** The [idx]-th statement of the run, executed by [pid] as part of
+          its [inv]-th invocation (0-based). [cost] is the statement's
+          duration in time units, in [tmin..tmax] (1 in the pure
+          statement-count model). *)
+  | Inv_begin of { pid : Proc.pid; inv : int; label : string }
+  | Inv_end of { pid : Proc.pid; inv : int; label : string }
+  | Note of { pid : Proc.pid; text : string }
+  | Set_priority of { pid : Proc.pid; priority : int }
+      (** The process changed its own priority between invocations
+          (Sec. 5: dynamic priorities). *)
+
+type t
+
+val create : Config.t -> t
+
+val config : t -> Config.t
+
+val add : t -> event -> unit
+
+val events : t -> event list
+
+val length : t -> int
+(** Number of events (not statements). *)
+
+val statements : t -> int
+(** Number of statements executed. *)
+
+val time : t -> int
+(** Total time units consumed (equals [statements] when all costs are 1). *)
+
+val own_statements : t -> Proc.pid -> int
+
+val pp_event : event Fmt.t
+
+val pp : t Fmt.t
+(** One event per line. *)

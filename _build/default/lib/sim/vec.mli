@@ -1,0 +1,32 @@
+(** Growable arrays.
+
+    OCaml 5.1 predates [Dynarray]; this is the small subset the simulator
+    needs: amortized O(1) append, O(1) random access, iteration. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the [i]-th element. @raise Invalid_argument if out of range. *)
+
+val push : 'a t -> 'a -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_list : 'a t -> 'a list
+
+val of_list : 'a list -> 'a t
+
+val last : 'a t -> 'a option
+(** [last v] is the most recently pushed element, if any. *)
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val filter : ('a -> bool) -> 'a t -> 'a list

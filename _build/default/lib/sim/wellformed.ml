@@ -1,0 +1,79 @@
+type violation = {
+  at : int;
+  pid : Proc.pid;
+  axiom : [ `Priority | `Quantum ];
+  blame : Proc.pid;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "@[stmt %d: %a violated %s of %a@]" v.at Proc.pp_pid v.pid
+    (match v.axiom with `Priority -> "Axiom 1 (priority)" | `Quantum -> "Axiom 2 (quantum)")
+    Proc.pp_pid v.blame
+
+type pst = {
+  mutable mid_inv : bool;
+  mutable pending : bool;
+  mutable guarantee : int;
+}
+
+let check trace =
+  let config = Trace.config trace in
+  let n = Config.n config in
+  let st = Array.init n (fun _ -> { mid_inv = false; pending = false; guarantee = 0 }) in
+  let violations = ref [] in
+  let emit v = violations := v :: !violations in
+  let proc pid = config.procs.(pid) in
+  (* Current priorities; updated by Set_priority events (Sec. 5). *)
+  let priority = Array.map (fun (p : Proc.t) -> p.priority) config.procs in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Inv_begin { pid; _ } ->
+        let s = st.(pid) in
+        s.mid_inv <- true;
+        s.pending <- false;
+        s.guarantee <- 0
+      | Trace.Inv_end { pid; _ } ->
+        let s = st.(pid) in
+        s.mid_inv <- false;
+        s.pending <- false;
+        s.guarantee <- 0
+      | Trace.Note _ -> ()
+      | Trace.Set_priority { pid; priority = p } -> priority.(pid) <- p
+      | Trace.Stmt { idx; pid; cost; _ } ->
+        let p = proc pid in
+        let s = st.(pid) in
+        (* Axiom 1: no ready (mid-invocation) higher-priority process on
+           the same processor. *)
+        for q = 0 to n - 1 do
+          let pq = proc q in
+          if
+            q <> pid && pq.processor = p.processor
+            && priority.(q) > priority.(pid)
+            && st.(q).mid_inv
+          then emit { at = idx; pid; axiom = `Priority; blame = q }
+        done;
+        (* Axiom 2: no equal-priority process under an active quantum
+           guarantee on the same processor. *)
+        if config.axiom2 then
+          for q = 0 to n - 1 do
+            let pq = proc q in
+            if
+              q <> pid && pq.processor = p.processor
+              && priority.(q) = priority.(pid)
+              && st.(q).guarantee > 0
+            then emit { at = idx; pid; axiom = `Quantum; blame = q }
+          done;
+        if s.pending then begin
+          s.pending <- false;
+          s.guarantee <- config.quantum
+        end;
+        s.guarantee <- max 0 (s.guarantee - cost);
+        for q = 0 to n - 1 do
+          if q <> pid && (proc q).processor = p.processor && st.(q).mid_inv then
+            st.(q).pending <- true
+        done)
+    (Trace.events trace);
+  List.rev !violations
+
+let is_well_formed trace = check trace = []

@@ -1,0 +1,33 @@
+(** Post-hoc well-formedness checking of histories.
+
+    Re-validates a recorded trace against the paper's definition of a
+    well-formed history (Sec. 2), independently of the engine that
+    produced it:
+
+    - {b Axiom 1}: for any statement execution [s_j] by process [p], no
+      higher-priority process on [p]'s processor has an enabled statement
+      (is mid-invocation) at that point.
+    - {b Axiom 2}: if [p] is preempted before [s_j] (another process on
+      its processor executed a statement between two statements of [p]'s
+      current invocation), then no equal-priority process on [p]'s
+      processor executes after [s_j] until [p] has executed [Q]
+      statements or [p]'s invocation terminates.
+
+    Every test in this repository runs its traces through this checker,
+    so a scheduler bug cannot silently invalidate an experiment. *)
+
+type violation = {
+  at : int;  (** Statement index of the offending execution. *)
+  pid : Proc.pid;  (** The process that executed illegally. *)
+  axiom : [ `Priority | `Quantum ];
+  blame : Proc.pid;  (** The process whose rights were violated. *)
+}
+
+val pp_violation : violation Fmt.t
+
+val check : Trace.t -> violation list
+(** All violations, in trace order. Empty for a well-formed history.
+    When the trace's config has [axiom2 = false], quantum violations are
+    not reported (that mode deliberately weakens the scheduler). *)
+
+val is_well_formed : Trace.t -> bool

@@ -1,0 +1,1 @@
+lib/workload/layout.ml: Config Fmt Fun Hwf_sim List Proc Random

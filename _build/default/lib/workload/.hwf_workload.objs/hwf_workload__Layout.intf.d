@@ -1,0 +1,1 @@
+lib/workload/layout.mli: Fmt Hwf_sim

@@ -1,0 +1,1 @@
+lib/workload/scenarios.mli: Explore Fmt Hwf_adversary Hwf_sim Layout

@@ -1,0 +1,40 @@
+open Hwf_sim
+
+type t = (int * int) list
+
+let uniform ~processors ~per_processor =
+  List.concat_map
+    (fun cpu -> List.init per_processor (fun _ -> (cpu, 1)))
+    (List.init processors Fun.id)
+
+let distinct_priorities ~processors ~per_processor =
+  List.concat_map
+    (fun cpu -> List.init per_processor (fun k -> (cpu, k + 1)))
+    (List.init processors Fun.id)
+
+let banded ~processors ~levels ~per_level =
+  List.concat_map
+    (fun cpu ->
+      List.concat_map
+        (fun lvl -> List.init per_level (fun _ -> (cpu, lvl + 1)))
+        (List.init levels Fun.id))
+    (List.init processors Fun.id)
+
+let random ~seed ~processors ~levels ~n =
+  let st = Random.State.make [| seed; 0x1a40 |] in
+  List.init n (fun _ ->
+      (Random.State.int st processors, 1 + Random.State.int st levels))
+
+let levels t = List.fold_left (fun acc (_, p) -> max acc p) 1 t
+let processors t = List.fold_left (fun acc (c, _) -> max acc (c + 1)) 1 t
+
+let to_config ?axiom2 ~quantum t =
+  let procs =
+    List.mapi (fun pid (cpu, pri) -> Proc.make ~pid ~processor:cpu ~priority:pri ()) t
+  in
+  Config.make ?axiom2 ~quantum ~processors:(processors t) ~levels:(levels t) procs
+
+let pp ppf t =
+  Fmt.pf ppf "@[%a@]"
+    Fmt.(list ~sep:sp (pair ~sep:(any ":") int int))
+    t

@@ -1,0 +1,31 @@
+(** Process-placement generators.
+
+    A layout is the [(processor, priority)] assignment for pids
+    [0 .. N-1]; the paper's machine shapes are produced from a handful of
+    parametric families used throughout the experiments. *)
+
+type t = (int * int) list
+
+val uniform : processors:int -> per_processor:int -> t
+(** All processes at priority 1, [per_processor] on each processor — the
+    pure quantum-scheduled shape. *)
+
+val distinct_priorities : processors:int -> per_processor:int -> t
+(** Each process on a processor gets a distinct priority — the pure
+    priority-scheduled shape (the quantum machinery never engages). *)
+
+val banded : processors:int -> levels:int -> per_level:int -> t
+(** [per_level] processes at each of [levels] priorities on every
+    processor — the general hybrid shape (QNX-style bands). *)
+
+val random : seed:int -> processors:int -> levels:int -> n:int -> t
+(** Uniformly random placement, deterministic per seed. *)
+
+val to_config :
+  ?axiom2:bool -> quantum:int -> t -> Hwf_sim.Config.t
+(** Builds the configuration; [levels] is inferred as the maximum
+    priority present and [processors] as the maximum processor + 1. *)
+
+val levels : t -> int
+val processors : t -> int
+val pp : t Fmt.t

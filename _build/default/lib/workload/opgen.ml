@@ -1,0 +1,23 @@
+let pct st p = Random.State.int st 100 < p
+
+let cas_mix ~seed ~n ~ops_per ~read_pct ~contended_pct =
+  let st = Random.State.make [| seed; 0x0401 |] in
+  List.init n (fun pid ->
+      List.init ops_per (fun k ->
+          if pct st read_pct then Scenarios.Rd
+          else if pct st contended_pct then
+            (* aim at a value someone plausibly installed *)
+            let victim = Random.State.int st n in
+            Scenarios.Cas ((victim * 1000) + Random.State.int st (k + 1), (pid * 1000) + k + 1)
+          else if k = 0 then Scenarios.Cas (0, (pid * 1000) + 1)
+          else Scenarios.Cas ((pid * 1000) + k, (pid * 1000) + k + 1)))
+
+let queue_mix ~seed ~n ~ops_per ~enq_pct =
+  let st = Random.State.make [| seed; 0x0402 |] in
+  List.init n (fun pid ->
+      List.init ops_per (fun k ->
+          if pct st enq_pct then `Enq ((pid * 10_000) + k) else `Deq))
+
+let counter_mix ~seed ~n ~ops_per ~read_pct =
+  let st = Random.State.make [| seed; 0x0403 |] in
+  List.init n (fun _ -> List.init ops_per (fun _ -> if pct st read_pct then `Get else `Incr))

@@ -1,0 +1,24 @@
+(** Parametric operation-mix generators.
+
+    Deterministic per seed. Percentages are integers in [0..100]; the
+    generators are used by the E4/E10 benches and the stress tests to
+    produce workloads with controlled read ratios and contention. *)
+
+val cas_mix :
+  seed:int ->
+  n:int ->
+  ops_per:int ->
+  read_pct:int ->
+  contended_pct:int ->
+  Scenarios.cas_op list list
+(** C&S/read scripts for [n] processes. A contended C&S guesses a value
+    another process may have installed (creating success/failure races);
+    an uncontended one targets a process-private value progression. *)
+
+val queue_mix :
+  seed:int -> n:int -> ops_per:int -> enq_pct:int -> [ `Enq of int | `Deq ] list list
+(** Enqueue/dequeue scripts; enqueued values are unique per (pid, index)
+    so FIFO violations are attributable. *)
+
+val counter_mix :
+  seed:int -> n:int -> ops_per:int -> read_pct:int -> [ `Incr | `Get ] list list

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Config Eff Engine Hwf_adversary Hwf_sim Hwf_workload List Policy Proc QCheck2 Shared Trace Util

@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Bounds Fun Hwf_core List Printf QCheck2 Uni_consensus Util

@@ -1,0 +1,1 @@
+test/test_chain.ml: Alcotest Array Chain Eff Engine Explore Fun Hwf_adversary Hwf_check Hwf_core Hwf_sim Hwf_workload List Policy Printf QCheck2 Q_cas Q_cas_naive Q_fai Scenarios Stagger Util

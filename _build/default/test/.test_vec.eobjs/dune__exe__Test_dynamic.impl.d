@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Array Config Dump Eff Engine Explore Fmt Fun Hwf_adversary Hwf_core Hwf_sim List Op Policy Proc Renaming Stagger Trace Uni_consensus Util Wellformed

@@ -1,0 +1,1 @@
+test/test_fair_consensus.ml: Alcotest Array Eff Engine Fair_consensus Fun Hwf_core Hwf_sim Hwf_workload Layout List Policy Printf Util Wellformed

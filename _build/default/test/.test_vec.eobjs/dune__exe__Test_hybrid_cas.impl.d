@@ -1,0 +1,1 @@
+test/test_hybrid_cas.ml: Alcotest Array Eff Explore Fun Hwf_adversary Hwf_core Hwf_sim Hwf_workload Hybrid_cas List Policy Printf QCheck2 Random Scenarios Util

@@ -1,0 +1,1 @@
+test/test_lincheck.ml: Alcotest Eff Hist Hwf_check Hwf_sim Lincheck List Policy QCheck2 Util

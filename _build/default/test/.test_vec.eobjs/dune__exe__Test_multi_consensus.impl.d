@@ -1,0 +1,1 @@
+test/test_multi_consensus.ml: Alcotest Bounds Explore Hwf_adversary Hwf_core Hwf_sim Hwf_workload Layout List Multi_consensus Printf Scenarios Stagger Util

@@ -1,0 +1,1 @@
+test/test_objects.ml: Alcotest Array Cons_obj Eff Engine Fun Hw_atomic Hwf_objects Hwf_sim List Option Policy QCheck2 Util

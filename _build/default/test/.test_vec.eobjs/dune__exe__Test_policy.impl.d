@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Array Eff Engine Fun Hwf_adversary Hwf_sim List Policy Trace Util

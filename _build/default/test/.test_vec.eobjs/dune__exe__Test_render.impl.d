@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Array Config Eff Hwf_sim List Policy Proc Render String Util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Config Dump Eff Engine Fmt Fun Hwf_adversary Hwf_sim Hwf_workload List Op Policy Printf Proc QCheck2 Render Shared String Trace Util Wellformed

@@ -1,0 +1,1 @@
+test/test_time.ml: Alcotest Array Config Eff Engine Explore Fun Hwf_adversary Hwf_sim Hwf_workload Layout List Op Policy QCheck2 Random Scenarios Shared Trace Util Wellformed

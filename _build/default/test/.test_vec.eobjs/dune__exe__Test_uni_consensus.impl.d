@@ -1,0 +1,1 @@
+test/test_uni_consensus.ml: Alcotest Array Eff Engine Explore Fun Hwf_adversary Hwf_core Hwf_sim Hwf_workload Layout List Policy QCheck2 Random Scenarios Trace Util

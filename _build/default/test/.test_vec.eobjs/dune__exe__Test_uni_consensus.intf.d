@@ -1,0 +1,1 @@
+test/test_uni_consensus.mli:

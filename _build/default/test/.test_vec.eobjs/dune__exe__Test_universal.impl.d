@@ -1,0 +1,1 @@
+test/test_universal.ml: Alcotest Array Eff Explore Fun Hwf_adversary Hwf_core Hwf_sim Hwf_workload Layout List Policy Scenarios Util Wf_objects

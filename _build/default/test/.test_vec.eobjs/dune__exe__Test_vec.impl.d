@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Hwf_sim List QCheck2 Util Vec

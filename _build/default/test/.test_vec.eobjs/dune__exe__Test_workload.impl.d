@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fun Hwf_adversary Hwf_sim Hwf_workload Layout List Opgen Option Scenarios Util

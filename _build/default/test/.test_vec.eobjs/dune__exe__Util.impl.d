@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Config Engine Hwf_adversary Hwf_sim List Proc QCheck2 QCheck_alcotest Render String Wellformed

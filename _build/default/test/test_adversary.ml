@@ -1,0 +1,254 @@
+open Hwf_sim
+open Hwf_adversary
+open Hwf_workload
+
+(* The model checker, the stagger adversary and the bivalence prober. *)
+
+let fig3 ~quantum ~pris =
+  Scenarios.consensus ~name:"f3" ~impl:Scenarios.Fig3 ~quantum
+    ~layout:(List.map (fun p -> (0, p)) pris)
+
+let test_explore_finds_fig3_bug () =
+  let b = fig3 ~quantum:1 ~pris:[ 1; 1 ] in
+  let o = Explore.explore b.scenario in
+  Util.expect_fail "fig3 Q=1" o;
+  match o.counterexample with
+  | Some c ->
+    Util.checkb "message mentions disagreement" (Util.contains c.message "disagreement");
+    Util.checkb "counterexample trace is well-formed" (Wellformed.is_well_formed c.trace);
+    Util.checkb "has a decision path" (c.decisions <> [])
+  | None -> assert false
+
+let test_explore_exhaustive_flag () =
+  let b = fig3 ~quantum:8 ~pris:[ 1; 1 ] in
+  let o = Explore.explore b.scenario in
+  Util.checkb "exhaustive" o.exhaustive;
+  let o' = Explore.explore ~max_runs:5 b.scenario in
+  Util.checkb "not exhaustive when capped" (not o'.exhaustive)
+
+let test_preemption_bound_restricts () =
+  (* With bound 0, only run-to-completion schedules: far fewer runs. *)
+  let b = fig3 ~quantum:8 ~pris:[ 1; 1; 1 ] in
+  let o0 = Explore.explore ~preemption_bound:0 b.scenario in
+  let o1 = Explore.explore ~preemption_bound:1 b.scenario in
+  Util.checkb "bound 0 fewer runs than bound 1" (o0.runs < o1.runs);
+  Util.expect_ok "bound 0" o0;
+  Util.expect_ok "bound 1" o1
+
+let test_explore_respects_check () =
+  (* A check that always fails produces a counterexample on the first run. *)
+  let config = Util.uni_config ~quantum:8 [ 1 ] in
+  let scenario =
+    Explore.
+      {
+        name = "alwaysfail";
+        config;
+        make =
+          (fun () ->
+            {
+              programs = [| (fun () -> Eff.invocation "x" (fun () -> Eff.local "s")) |];
+              check = (fun _ -> Error "nope");
+            });
+      }
+  in
+  let o = Explore.explore scenario in
+  Util.checki "one run" 1 o.runs;
+  Util.expect_fail "always fail" o
+
+let test_iter_schedules_coverage () =
+  let b = fig3 ~quantum:8 ~pris:[ 1; 1 ] in
+  let seen = ref 0 in
+  let n =
+    Explore.iter_schedules b.scenario ~f:(fun ~pids _r ->
+        incr seen;
+        Util.checkb "nonempty path" (pids <> []);
+        `Continue)
+  in
+  Util.checki "callback per run" n !seen;
+  let o = Explore.explore b.scenario in
+  Util.checki "same count as explore" o.runs n
+
+let test_random_runs_deterministic () =
+  let b = fig3 ~quantum:1 ~pris:[ 1; 1; 1 ] in
+  let o1 = Explore.random_runs ~runs:300 ~seed:5 b.scenario in
+  let o2 = Explore.random_runs ~runs:300 ~seed:5 b.scenario in
+  Util.checki "same verdict run count" o1.runs o2.runs
+
+let test_stagger_max_interleave_legal () =
+  (* The staggering policy never produces ill-formed traces. *)
+  let layout = Layout.uniform ~processors:2 ~per_processor:3 in
+  let config = Layout.to_config ~quantum:5 layout in
+  let x = Shared.make "x" 0 in
+  let bodies =
+    Array.init 6 (fun _ () ->
+        for _ = 1 to 3 do
+          Eff.invocation "op" (fun () ->
+              let v = Shared.read x in
+              Eff.local "l";
+              Shared.write x (v + 1))
+        done)
+  in
+  let r = Util.run ~config ~policy:(Stagger.max_interleave ()) bodies in
+  Util.checkb "finished" (Array.for_all Fun.id r.finished)
+
+let test_stagger_interleaves_more_than_rr () =
+  let switches policy =
+    let config = Util.uni_config ~quantum:2 [ 1; 1; 1 ] in
+    let bodies =
+      Array.init 3 (fun _ () ->
+          Eff.invocation "op" (fun () ->
+              for _ = 1 to 6 do
+                Eff.local "s"
+              done))
+    in
+    let r = Util.run ~config ~policy bodies in
+    let rec count prev = function
+      | [] -> 0
+      | Trace.Stmt { pid; _ } :: rest -> (if pid <> prev then 1 else 0) + count pid rest
+      | _ :: rest -> count prev rest
+    in
+    count (-1) (Trace.events r.trace)
+  in
+  let s_stagger = switches (Stagger.max_interleave ()) in
+  Util.checkb
+    (Printf.sprintf "stagger switches often (%d)" s_stagger)
+    (s_stagger >= 6)
+
+let test_preempt_after_rmw_triggers () =
+  (* The policy switches right after a matching RMW. *)
+  let config = Util.uni_config ~quantum:1 [ 1; 1 ] in
+  let o = Hwf_objects.Cons_obj.make ~consensus_number:2 "target" in
+  let bodies =
+    Array.init 2 (fun pid () ->
+        Eff.invocation "op" (fun () ->
+            Eff.local "pre";
+            ignore (Hwf_objects.Cons_obj.propose o pid);
+            Eff.local "post"))
+  in
+  let policy = Stagger.preempt_after_rmw ~var_prefix:"target" ~fallback:Policy.first () in
+  let r = Util.run ~config ~policy bodies in
+  Util.checkb "finished" (Array.for_all Fun.id r.finished);
+  (* After p0's propose, the policy must run p1 before p0's "post". *)
+  let order =
+    List.filter_map
+      (function Trace.Stmt { pid; op; _ } -> Some (pid, Fmt.str "%a" Op.pp op) | _ -> None)
+      (Trace.events r.trace)
+  in
+  let rec after_rmw = function
+    | (0, s) :: (p, _) :: _ when Util.contains s "propose" -> p = 1
+    | _ :: rest -> after_rmw rest
+    | [] -> false
+  in
+  Util.checkb "switched after rmw" (after_rmw order)
+
+let test_schedule_roundtrip () =
+  let s = [ 0; 1; 1; 0; 2 ] in
+  (match Schedule.of_string (Schedule.to_string s) with
+  | Ok s' -> Alcotest.(check (list int)) "roundtrip" s s'
+  | Error m -> Alcotest.fail m);
+  (match Schedule.of_string "1 2\n2 1" with
+  | Ok s' -> Alcotest.(check (list int)) "newlines ok" [ 0; 1; 1; 0 ] s'
+  | Error m -> Alcotest.fail m);
+  match Schedule.of_string "1 x 2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted garbage"
+
+let test_schedule_replay_reproduces () =
+  (* A counterexample found by explore must still fail when replayed
+     through the Schedule machinery. *)
+  let b = fig3 ~quantum:1 ~pris:[ 1; 1 ] in
+  match (Explore.explore b.scenario).counterexample with
+  | None -> Alcotest.fail "expected counterexample"
+  | Some c -> (
+    match Schedule.verdict b.scenario c.decisions with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "replay did not reproduce the failure")
+
+let test_schedule_save_load () =
+  let path = Filename.temp_file "hwf" ".sched" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Schedule.save ~path [ 2; 0; 1 ];
+      match Schedule.load ~path with
+      | Ok s -> Alcotest.(check (list int)) "load" [ 2; 0; 1 ] s
+      | Error m -> Alcotest.fail m)
+
+let test_shrink_minimizes () =
+  let b = fig3 ~quantum:1 ~pris:[ 1; 1 ] in
+  match (Explore.explore b.scenario).counterexample with
+  | None -> Alcotest.fail "expected counterexample"
+  | Some c ->
+    let small = Shrink.shrink b.scenario c.decisions in
+    Util.checkb "still fails" (Schedule.verdict b.scenario small <> Ok ());
+    Util.checkb
+      (Printf.sprintf "no longer than original (%d <= %d)" (List.length small)
+         (List.length c.decisions))
+      (List.length small <= List.length c.decisions);
+    (* local minimality: removing any single decision cures the failure *)
+    List.iteri
+      (fun i _ ->
+        let cand = List.filteri (fun j _ -> j <> i) small in
+        Util.checkb "locally minimal" (Schedule.verdict b.scenario cand = Ok ()))
+      small
+
+let test_shrink_noop_on_passing () =
+  let b = fig3 ~quantum:8 ~pris:[ 1; 1 ] in
+  let passing = [ 0; 0; 0; 1 ] in
+  Alcotest.(check (list int))
+    "unchanged" passing
+    (Shrink.shrink b.scenario passing)
+
+let test_bivalence_horizon_fig3 () =
+  let probe quantum =
+    let b = fig3 ~quantum ~pris:[ 1; 1 ] in
+    Bivalence.probe ~max_runs:100_000 ~scenario:b.scenario ~decision:b.last_decision ()
+  in
+  let p1 = probe 1 and p8 = probe 8 in
+  Util.checkb "both values reachable at Q=1" (List.length p1.decisions = 2);
+  Util.checkb "horizon shrinks with quantum"
+    (p8.horizon < p1.horizon);
+  Util.checkb "runs recorded" (p1.runs > 0 && p8.runs > 0)
+
+let test_bivalence_univalent_case () =
+  (* A scenario with a single proposer is univalent: horizon 0. *)
+  let b = fig3 ~quantum:8 ~pris:[ 1 ] in
+  let p = Bivalence.probe ~scenario:b.scenario ~decision:b.last_decision () in
+  Util.checki "horizon" 0 p.horizon;
+  Util.checki "one decision" 1 (List.length p.decisions)
+
+let () =
+  Alcotest.run "adversary"
+    [
+      ( "explore",
+        [
+          Alcotest.test_case "finds fig3 bug" `Quick test_explore_finds_fig3_bug;
+          Alcotest.test_case "exhaustive flag" `Quick test_explore_exhaustive_flag;
+          Alcotest.test_case "preemption bound" `Quick test_preemption_bound_restricts;
+          Alcotest.test_case "respects check" `Quick test_explore_respects_check;
+          Alcotest.test_case "iter_schedules" `Quick test_iter_schedules_coverage;
+          Alcotest.test_case "random deterministic" `Quick test_random_runs_deterministic;
+        ] );
+      ( "stagger",
+        [
+          Alcotest.test_case "legal traces" `Quick test_stagger_max_interleave_legal;
+          Alcotest.test_case "interleaves densely" `Quick test_stagger_interleaves_more_than_rr;
+          Alcotest.test_case "preempt after rmw" `Quick test_preempt_after_rmw_triggers;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_schedule_roundtrip;
+          Alcotest.test_case "replay reproduces" `Quick test_schedule_replay_reproduces;
+          Alcotest.test_case "save/load" `Quick test_schedule_save_load;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "minimizes" `Quick test_shrink_minimizes;
+          Alcotest.test_case "noop on passing" `Quick test_shrink_noop_on_passing;
+        ] );
+      ( "bivalence",
+        [
+          Alcotest.test_case "horizon vs quantum" `Quick test_bivalence_horizon_fig3;
+          Alcotest.test_case "univalent case" `Quick test_bivalence_univalent_case;
+        ] );
+    ]

@@ -1,0 +1,146 @@
+open Hwf_core
+
+(* Table 1 rows for fixed P, unit-cost statements (c = 1). *)
+let test_table1_middle_column () =
+  let q c consensus_number = Bounds.universal_quantum ~c ~p:4 ~consensus_number in
+  (* C < P: impossible *)
+  Alcotest.(check (option int)) "C<P" None (q 1 3);
+  (* P <= C <= 2P: proportional to 2P+1-C *)
+  Alcotest.(check (option int)) "C=P" (Some 5) (q 1 4);
+  Alcotest.(check (option int)) "C=P+1" (Some 4) (q 1 5);
+  Alcotest.(check (option int)) "C=2P-1" (Some 2) (q 1 7);
+  (* the max(2c, .) floor binds from C = 2P - 1 with c = 1 *)
+  Alcotest.(check (option int)) "C=2P" (Some 2) (q 1 8);
+  Alcotest.(check (option int)) "C=2P+5" (Some 2) (q 1 13);
+  (* infinite consensus number: any quantum *)
+  Alcotest.(check (option int)) "C=inf" (Some 0) (q 1 max_int)
+
+let test_table1_last_column () =
+  let q consensus_number = Bounds.impossibility_quantum ~p:4 ~consensus_number in
+  Alcotest.(check (option int)) "C=P" (Some 4) (q 4);
+  Alcotest.(check (option int)) "C=P+1" (Some 3) (q 5);
+  Alcotest.(check (option int)) "C=2P-1" (Some 1) (q 7);
+  Alcotest.(check (option int)) "C=2P" (Some 1) (q 8);
+  Alcotest.(check (option int)) "C=2P+3" (Some 1) (q 11);
+  Alcotest.(check (option int)) "C=inf" None (q max_int)
+
+let test_theorem1_constant () =
+  Alcotest.(check int) "Q >= 8" 8 Bounds.uniprocessor_consensus_quantum;
+  Alcotest.(check int)
+    "matches Fig 3 statement count" Uni_consensus.statements_per_decide
+    Bounds.uniprocessor_consensus_quantum
+
+let test_levels_formula () =
+  (* L = (K+1)M(1+P-K) + (P-K)^2 M + 1, spot values *)
+  Alcotest.(check int) "P=2 K=0 M=1" (1 * 1 * 3 + 4 * 1 + 1) (Bounds.levels ~m:1 ~p:2 ~k:0);
+  Alcotest.(check int) "P=2 K=2 M=3" (3 * 3 * 1 + 0 + 1) (Bounds.levels ~m:3 ~p:2 ~k:2);
+  Alcotest.(check int) "P=3 K=1 M=2" (2 * 2 * 3 + 4 * 2 + 1) (Bounds.levels ~m:2 ~p:3 ~k:1);
+  Alcotest.check_raises "k range" (Invalid_argument "Bounds.levels: need 0 <= k <= p")
+    (fun () -> ignore (Bounds.levels ~m:1 ~p:2 ~k:3))
+
+let test_levels_exceed_threshold () =
+  (* Lemma 3: L as defined exceeds the deciding-level threshold. *)
+  for p = 1 to 6 do
+    for k = 0 to p do
+      for m = 1 to 5 do
+        let l = Bounds.levels ~m ~p ~k in
+        let thr = Bounds.deciding_level_threshold ~m ~p ~k in
+        if l <> thr + 1 then
+          Alcotest.failf "L <> threshold+1 at p=%d k=%d m=%d (%d vs %d)" p k m l thr
+      done
+    done
+  done
+
+let test_ports () =
+  (* Fig 8: K processors with 2 ports, P-K with 1; totals C = P+K. *)
+  for p = 1 to 5 do
+    for k = 0 to p do
+      let total = ref 0 in
+      for i = 0 to p - 1 do
+        total := !total + Bounds.ports_per_processor ~p ~k ~processor:i
+      done;
+      Alcotest.(check int) (Printf.sprintf "ports p=%d k=%d" p k) (p + k) !total
+    done
+  done
+
+let test_af_bounds () =
+  Alcotest.(check int) "AF_diff <= M" 4 (Bounds.af_diff_bound ~m:4);
+  (* Corollary B.1: C=2P (K=P) gives AF_same <= MP. *)
+  let p = 3 and m = 2 in
+  let l = Bounds.levels ~m ~p ~k:p in
+  Alcotest.(check int) "K=P collapses to KM" (p * m) (Bounds.af_same_bound ~m ~p ~k:p ~l);
+  (* Lemma B.2 shape for K=0: P(L+PM)/(1+P), rounded up. *)
+  let l0 = Bounds.levels ~m ~p ~k:0 in
+  let expect = (p * (l0 + (m * p)) + p) / (p + 1) in
+  Alcotest.(check int) "K=0 shape" expect (Bounds.af_same_bound ~m ~p ~k:0 ~l:l0)
+
+let prop_universal_monotone_in_c =
+  Util.qtest ~count:200 "required quantum shrinks as C grows"
+    QCheck2.Gen.(tup2 (int_range 1 6) (int_range 1 20))
+    (fun (p, c) ->
+      let rec mono prev cn =
+        if cn > (2 * p) + 3 then true
+        else
+          match Bounds.universal_quantum ~c ~p ~consensus_number:cn with
+          | None -> mono prev (cn + 1)
+          | Some q -> q <= prev && mono q (cn + 1)
+      in
+      mono max_int p)
+
+let prop_impossibility_below_universal =
+  Util.qtest ~count:200 "impossible region sits below universal region"
+    QCheck2.Gen.(tup2 (int_range 1 6) (int_range 0 8))
+    (fun (p, dc) ->
+      let consensus_number = p + dc in
+      match
+        ( Bounds.impossibility_quantum ~p ~consensus_number,
+          Bounds.universal_quantum ~c:1 ~p ~consensus_number )
+      with
+      | Some lower, Some upper -> lower < upper || upper <= 1
+      | _ -> true)
+
+let prop_levels_positive =
+  Util.qtest ~count:200 "L >= 1 and grows with M"
+    QCheck2.Gen.(tup2 (int_range 1 6) (int_range 1 6))
+    (fun (p, m) ->
+      List.for_all
+        (fun k ->
+          let l = Bounds.levels ~m ~p ~k in
+          l >= 1 && (m = 1 || l > Bounds.levels ~m:(m - 1) ~p ~k))
+        (List.init (p + 1) Fun.id))
+
+let test_exponential_baseline () =
+  Alcotest.(check int) "M 4^P" (3 * 256) (Bounds.exponential_baseline_levels ~m:3 ~p:4);
+  (* the polynomial L sits below the exponential baseline from P=1 on *)
+  let m = 2 in
+  List.iter
+    (fun p ->
+      Util.checkb
+        (Printf.sprintf "polynomial beats exponential at P=%d" p)
+        (Bounds.levels ~m ~p ~k:0 < Bounds.exponential_baseline_levels ~m ~p))
+    [ 1; 2; 3; 4; 10 ]
+
+let () =
+  Alcotest.run "bounds"
+    [
+      ( "table1",
+        [
+          Alcotest.test_case "middle column" `Quick test_table1_middle_column;
+          Alcotest.test_case "last column" `Quick test_table1_last_column;
+          Alcotest.test_case "theorem 1 constant" `Quick test_theorem1_constant;
+        ] );
+      ( "levels",
+        [
+          Alcotest.test_case "formula" `Quick test_levels_formula;
+          Alcotest.test_case "exceeds threshold" `Quick test_levels_exceed_threshold;
+          Alcotest.test_case "ports" `Quick test_ports;
+          Alcotest.test_case "af bounds" `Quick test_af_bounds;
+          Alcotest.test_case "exponential baseline" `Quick test_exponential_baseline;
+        ] );
+      ( "props",
+        [
+          prop_universal_monotone_in_c;
+          prop_impossibility_below_universal;
+          prop_levels_positive;
+        ] );
+    ]

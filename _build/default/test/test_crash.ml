@@ -1,0 +1,171 @@
+open Hwf_sim
+open Hwf_core
+open Hwf_adversary
+open Hwf_workload
+
+(* Wait-freedom under halting failures: a process parked forever
+   mid-invocation must not stop the others (the paper's Sec. 2 failure
+   model). *)
+
+let run_with_crash ~config ~victims ~seed ~step_limit bodies =
+  let policy = Crash.wrap ~victims (Policy.random ~seed) in
+  let r = Engine.run ~step_limit ~config ~policy bodies in
+  (match Wellformed.check r.trace with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "ill-formed: %a" Wellformed.pp_violation v);
+  r
+
+let test_fig3_tolerates_crash () =
+  (* 3 same-priority processes; p2 crashes mid-decide (after 3 of its 8
+     statements). The survivors must still decide and agree. *)
+  for seed = 0 to 29 do
+    let config = Util.uni_config ~quantum:8 [ 1; 1; 1 ] in
+    let obj = Uni_consensus.make "c" in
+    let outs = Array.make 3 None in
+    let bodies =
+      Array.init 3 (fun pid () ->
+          Eff.invocation "decide" (fun () ->
+              outs.(pid) <- Some (Uni_consensus.decide obj (100 + pid))))
+    in
+    let victims = [ (2, 3) ] in
+    let r = run_with_crash ~config ~victims ~seed ~step_limit:10_000 bodies in
+    Util.checkb "survivors finished" (Crash.survivors_finished r ~victims:[ 2 ]);
+    match (outs.(0), outs.(1)) with
+    | Some a, Some b ->
+      Util.checkb "agree" (a = b);
+      Util.checkb "valid" (a >= 100 && a <= 102)
+    | _ -> Alcotest.fail "survivor did not decide"
+  done
+
+let test_fig7_tolerates_crashes () =
+  (* One process per processor crashes mid-decide; the rest agree. *)
+  for seed = 0 to 9 do
+    let layout = Layout.uniform ~processors:2 ~per_processor:3 in
+    let config = Layout.to_config ~quantum:4000 layout in
+    let obj = Multi_consensus.make ~config ~name:"mc" ~consensus_number:2 () in
+    let n = 6 in
+    let outs = Array.make n None in
+    let bodies =
+      Array.init n (fun pid () ->
+          Eff.invocation "decide" (fun () ->
+              outs.(pid) <- Some (Multi_consensus.decide obj ~pid (100 + pid))))
+    in
+    (* pids 0 (cpu 0) and 3 (cpu 1) crash after 40 own statements *)
+    let victims = [ (0, 40); (3, 40) ] in
+    let r = run_with_crash ~config ~victims ~seed ~step_limit:4_000_000 bodies in
+    Util.checkb "survivors finished" (Crash.survivors_finished r ~victims:[ 0; 3 ]);
+    let decisions =
+      [ 1; 2; 4; 5 ] |> List.filter_map (fun pid -> outs.(pid)) |> List.sort_uniq compare
+    in
+    Util.checki "one decision" 1 (List.length decisions)
+  done
+
+let test_universal_helps_crashed_announcer () =
+  (* A process crashes right after announcing its operation; helpers
+     apply it anyway, and survivors keep operating. *)
+  for seed = 0 to 19 do
+    let config = Util.uni_config ~quantum:3000 [ 1; 1; 1 ] in
+    let c = Wf_objects.counter ~name:"c" ~n:3 ~factory:(Wf_objects.uni_factory ()) in
+    let results = Array.make 3 (-1) in
+    let bodies =
+      Array.init 3 (fun pid () ->
+          Eff.invocation "incr" (fun () -> results.(pid) <- Wf_objects.incr c ~pid))
+    in
+    (* p2 executes exactly its announce write (1 statement) then halts *)
+    let victims = [ (2, 1) ] in
+    let r = run_with_crash ~config ~victims ~seed ~step_limit:100_000 bodies in
+    Util.checkb "survivors finished" (Crash.survivors_finished r ~victims:[ 2 ]);
+    Util.checkb "survivors got distinct positive counts"
+      (results.(0) >= 1 && results.(1) >= 1 && results.(0) <> results.(1))
+  done
+
+let test_crash_high_priority_blocks_processor () =
+  (* The model's caveat: a crashed READY process at top priority blocks
+     its whole processor (Axiom 1), so the run halts without finishing —
+     wait-freedom is per-scheduled-process, not an aliveness guarantee. *)
+  let config = Util.uni_config ~quantum:8 [ 1; 2 ] in
+  let x = Shared.make "x" 0 in
+  let bodies =
+    Array.init 2 (fun _ () ->
+        Eff.invocation "op" (fun () ->
+            ignore (Shared.read x);
+            Eff.local "l";
+            Shared.write x 1))
+  in
+  let policy = Crash.wrap ~victims:[ (1, 1) ] Policy.highest_pid in
+  let r = Engine.run ~step_limit:10_000 ~config ~policy bodies in
+  Util.checkb "run halts" (r.stop = Engine.Policy_stopped);
+  Util.checkb "low-priority process is stuck" (not r.finished.(0))
+
+let test_renaming_tolerates_crash () =
+  (* One-shot renaming stays wait-free and dense among survivors even
+     with a claimant crashed mid-acquisition. *)
+  for seed = 0 to 19 do
+    let config = Util.uni_config ~quantum:3000 [ 1; 1; 1; 1 ] in
+    let r = Renaming.make "names" in
+    let got = Array.make 4 0 in
+    let bodies =
+      Array.init 4 (fun pid () ->
+          Eff.invocation "acquire" (fun () -> got.(pid) <- Renaming.acquire r ~pid))
+    in
+    let victims = [ (3, 2) ] in
+    let res = run_with_crash ~config ~victims ~seed ~step_limit:100_000 bodies in
+    Util.checkb "survivors finished" (Crash.survivors_finished res ~victims:[ 3 ]);
+    let names = [ got.(0); got.(1); got.(2) ] |> List.sort compare in
+    Util.checkb "distinct" (List.length (List.sort_uniq compare names) = 3);
+    (* dense within N even if the crashed claimant consumed a slot *)
+    Util.checkb "within 1..4" (List.for_all (fun n -> n >= 1 && n <= 4) names)
+  done
+
+let test_fig9_winner_crash_starves_losers () =
+  (* Fig. 9's known weakness: if an election winner crashes before
+     publishing, the losers spin forever — precisely why Fig. 7 avoids
+     elections. (With a fair scheduler and no crashes, E8 shows it
+     terminating.) *)
+  let layout = Layout.uniform ~processors:1 ~per_processor:2 in
+  let config = Layout.to_config ~quantum:3000 layout in
+  let obj = Fair_consensus.make ~config ~name:"fc" ~consensus_number:1 in
+  let bodies =
+    Array.init 2 (fun pid () ->
+        Eff.invocation "decide" (fun () ->
+            ignore (Fair_consensus.decide obj ~pid (100 + pid))))
+  in
+  (* p0 wins the election (runs first), then crashes before writing
+     Output; p1 spins. *)
+  let policy =
+    Crash.wrap ~victims:[ (0, 12) ] (Policy.prefer [ 0 ] ~fallback:Policy.first)
+  in
+  let r = Engine.run ~step_limit:20_000 ~config ~policy bodies in
+  Util.checkb "loser spins to the step limit" (r.stop = Engine.Step_limit);
+  Util.checkb "loser unfinished" (not r.finished.(1))
+
+let test_crash_wrapper_is_conservative () =
+  (* With no victims the wrapper is the underlying policy. *)
+  let config = Util.uni_config ~quantum:8 [ 1; 1 ] in
+  let obj = Uni_consensus.make "c" in
+  let bodies =
+    Array.init 2 (fun pid () ->
+        Eff.invocation "d" (fun () -> ignore (Uni_consensus.decide obj pid)))
+  in
+  let r =
+    Engine.run ~config ~policy:(Crash.wrap ~victims:[] (Policy.round_robin ())) bodies
+  in
+  Util.checkb "all finish" (Array.for_all Fun.id r.finished)
+
+let () =
+  Alcotest.run "crash"
+    [
+      ( "halting failures",
+        [
+          Alcotest.test_case "fig3 tolerates crash" `Quick test_fig3_tolerates_crash;
+          Alcotest.test_case "fig7 tolerates crashes" `Slow test_fig7_tolerates_crashes;
+          Alcotest.test_case "universal helps crashed announcer" `Quick
+            test_universal_helps_crashed_announcer;
+          Alcotest.test_case "high-priority crash blocks processor" `Quick
+            test_crash_high_priority_blocks_processor;
+          Alcotest.test_case "renaming tolerates crash" `Quick test_renaming_tolerates_crash;
+          Alcotest.test_case "fig9 winner crash starves losers" `Quick
+            test_fig9_winner_crash_starves_losers;
+          Alcotest.test_case "no victims = no-op" `Quick test_crash_wrapper_is_conservative;
+        ] );
+    ]

@@ -1,0 +1,96 @@
+open Hwf_sim
+open Hwf_core
+open Hwf_workload
+
+(* Fig. 9 / Sec. 5 (E8): constant quantum suffices under fair quantum
+   allocation. *)
+
+let build ~quantum ~layout =
+  let n = List.length layout in
+  let config = Layout.to_config ~quantum layout in
+  let obj = Fair_consensus.make ~config ~name:"fc" ~consensus_number:2 in
+  let outputs = Array.make n None in
+  let programs =
+    Array.init n (fun pid () ->
+        Eff.invocation "decide" (fun () ->
+            outputs.(pid) <- Some (Fair_consensus.decide obj ~pid (100 + pid))))
+  in
+  (config, obj, outputs, programs)
+
+let agree outputs =
+  match Array.to_list outputs |> List.filter_map Fun.id with
+  | [] -> false
+  | v :: rest -> List.for_all (( = ) v) rest
+
+let test_round_robin_terminates () =
+  let layout = Layout.banded ~processors:2 ~levels:2 ~per_level:2 in
+  let config, obj, outputs, programs = build ~quantum:3000 ~layout in
+  let r = Engine.run ~step_limit:10_000_000 ~config ~policy:(Policy.round_robin ()) programs in
+  Util.checkb "finished" (Array.for_all Fun.id r.finished);
+  Util.checkb "well-formed" (Wellformed.is_well_formed r.trace);
+  Util.checkb "agreement" (agree outputs);
+  Util.checkb "some processes lost the election and spun"
+    (Fair_consensus.elections_lost obj > 0)
+
+let test_random_is_fair_enough () =
+  (* Random scheduling is fair with probability 1; sampled runs finish. *)
+  for seed = 0 to 9 do
+    let layout = Layout.uniform ~processors:2 ~per_processor:2 in
+    let config, _obj, outputs, programs = build ~quantum:3000 ~layout in
+    let r = Engine.run ~step_limit:10_000_000 ~config ~policy:(Policy.random ~seed) programs in
+    Util.checkb "finished" (Array.for_all Fun.id r.finished);
+    Util.checkb "agreement" (agree outputs)
+  done
+
+let test_unfair_starves_losers () =
+  (* The contrast motivating Fig. 7: an unfair scheduler can starve an
+     election loser forever; the run hits the step limit with the loser
+     spinning. We bias scheduling to the loser to exhibit livelock. *)
+  let layout = Layout.uniform ~processors:1 ~per_processor:2 in
+  let config, _obj, _outputs, programs = build ~quantum:3000 ~layout in
+  (* Let p0 win the election, then starve p0 and run only p1. *)
+  let phase = ref `Warmup in
+  let policy =
+    Policy.of_fun "unfair" (fun v ->
+        (match !phase with
+        | `Warmup when v.Policy.step > 40 -> phase := `Starve
+        | _ -> ());
+        let prefer pid = if List.mem pid v.Policy.runnable then Some pid else None in
+        match !phase with
+        | `Warmup -> (
+          match prefer 0 with Some p -> Some p | None -> prefer 1)
+        | `Starve -> (
+          match prefer 1 with Some p -> Some p | None -> prefer 0))
+  in
+  let r = Engine.run ~step_limit:20_000 ~config ~policy programs in
+  Util.checkb "hits the step limit (loser spins)" (r.stop = Engine.Step_limit)
+
+let test_quantum_independence () =
+  (* The point of Fig. 9: a small constant quantum works under fairness
+     (here the election itself needs Q >= 8; the global phase tolerates
+     any Q because each level hosts one process per processor). *)
+  let layout = Layout.uniform ~processors:2 ~per_processor:2 in
+  List.iter
+    (fun quantum ->
+      let config, _obj, outputs, programs = build ~quantum ~layout in
+      let r =
+        Engine.run ~step_limit:10_000_000 ~config ~policy:(Policy.round_robin ()) programs
+      in
+      Util.checkb (Printf.sprintf "finished at Q=%d" quantum)
+        (Array.for_all Fun.id r.finished);
+      Util.checkb
+        (Printf.sprintf "agreement at Q=%d" quantum)
+        (agree outputs))
+    [ 64; 256; 3000 ]
+
+let () =
+  Alcotest.run "fair_consensus"
+    [
+      ( "fig9",
+        [
+          Alcotest.test_case "round robin terminates" `Quick test_round_robin_terminates;
+          Alcotest.test_case "random fair" `Quick test_random_is_fair_enough;
+          Alcotest.test_case "unfair starves" `Quick test_unfair_starves_losers;
+          Alcotest.test_case "small constant quantum" `Quick test_quantum_independence;
+        ] );
+    ]

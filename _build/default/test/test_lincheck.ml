@@ -1,0 +1,160 @@
+open Hwf_check
+
+(* Register spec: Set v / Get. *)
+let reg_spec =
+  Lincheck.make_spec ~init:0 ~apply:(fun s op ->
+      match op with `Set v -> (v, 0) | `Get -> (s, s))
+
+let e pid op result t0 t1 = Hist.{ pid; op; result; t0; t1 }
+
+let ok name r =
+  match r with Ok () -> () | Error m -> Alcotest.failf "%s: %s" name m
+
+let bad name r =
+  match r with Error _ -> () | Ok () -> Alcotest.failf "%s: accepted" name
+
+let test_empty () = ok "empty" (Lincheck.check reg_spec [])
+
+let test_sequential_valid () =
+  ok "seq"
+    (Lincheck.check reg_spec
+       [ e 0 (`Set 5) 0 0 2; e 1 `Get 5 3 4; e 0 `Get 5 5 6 ])
+
+let test_sequential_invalid () =
+  bad "stale read after set"
+    (Lincheck.check reg_spec [ e 0 (`Set 5) 0 0 2; e 1 `Get 0 3 4 ])
+
+let test_concurrent_reorder () =
+  (* Overlapping Set(7) and Get -> 7 is fine even though Get started first. *)
+  ok "overlap reorder"
+    (Lincheck.check reg_spec [ e 0 `Get 7 0 10; e 1 (`Set 7) 0 1 9 ])
+
+let test_realtime_respected () =
+  (* Get returning the old value after a Set fully completed is invalid. *)
+  bad "realtime"
+    (Lincheck.check reg_spec
+       [ e 0 (`Set 1) 0 0 1; e 1 (`Set 2) 0 2 3; e 2 `Get 1 4 5 ])
+
+let test_two_writers_read_order () =
+  (* Reads overlapping two concurrent writes may observe them in one
+     consistent order... *)
+  let h =
+    [
+      e 0 (`Set 1) 0 0 20;
+      e 1 (`Set 2) 0 0 20;
+      e 2 `Get 1 5 6;
+      e 2 `Get 2 7 8;
+    ]
+  in
+  ok "interleaved order exists" (Lincheck.check reg_spec h);
+  (* ... but not flip back and forth. *)
+  let h_bad = h @ [ e 2 `Get 1 9 10 ] in
+  bad "flip-flop" (Lincheck.check reg_spec h_bad);
+  (* And once both writes have completed, later reads must agree on one
+     final value. *)
+  let h_fixed =
+    [ e 0 (`Set 1) 0 0 10; e 1 (`Set 2) 0 0 10; e 2 `Get 1 11 12; e 2 `Get 2 13 14 ]
+  in
+  bad "state cannot change after both writes completed" (Lincheck.check reg_spec h_fixed)
+
+let cas_spec =
+  Lincheck.make_spec ~init:0 ~apply:(fun s op ->
+      match op with
+      | `Cas (x, y) -> if s = x then (y, true) else (s, false)
+      | `Get -> (s, s = 1))
+
+let test_cas_history () =
+  ok "two cas, one wins"
+    (Lincheck.check
+       (Lincheck.make_spec ~init:0 ~apply:(fun s op ->
+            match op with `Cas (x, y) -> if s = x then (y, true) else (s, false)))
+       [ e 0 (`Cas (0, 1)) true 0 5; e 1 (`Cas (0, 2)) false 0 5 ]);
+  bad "both cannot win"
+    (Lincheck.check
+       (Lincheck.make_spec ~init:0 ~apply:(fun s op ->
+            match op with `Cas (x, y) -> if s = x then (y, true) else (s, false)))
+       [ e 0 (`Cas (0, 1)) true 0 5; e 1 (`Cas (0, 2)) true 0 5 ]);
+  ignore cas_spec
+
+let test_too_long () =
+  let h = List.init 63 (fun i -> e 0 `Get 0 (2 * i) ((2 * i) + 1)) in
+  bad "63 ops rejected" (Lincheck.check reg_spec h)
+
+let test_sequential_consistency_weaker () =
+  (* The canonical separator: a stale read of another process's
+     completed write. SC may order the read before the write (no
+     program-order constraint across processes); linearizability's
+     real-time order forbids it. *)
+  let h = [ e 0 (`Set 1) 0 0 1; e 1 `Get 0 2 3 ] in
+  bad "not linearizable" (Lincheck.check reg_spec h);
+  ok "but sequentially consistent" (Lincheck.check_sequential_consistency reg_spec h);
+  (* SC still requires program order: a process contradicting itself
+     fails both. *)
+  let h_bad = [ e 0 (`Set 5) 0 0 1; e 0 `Get 0 2 3 ] in
+  bad "violates program order" (Lincheck.check_sequential_consistency reg_spec h_bad);
+  (* and every linearizable history is SC *)
+  let h_lin = [ e 0 (`Set 5) 0 0 2; e 1 `Get 5 3 4 ] in
+  ok "lin" (Lincheck.check reg_spec h_lin);
+  ok "lin implies sc" (Lincheck.check_sequential_consistency reg_spec h_lin)
+
+let test_hist_recorder () =
+  (* Hist.wrap timestamps around statements. *)
+  let open Hwf_sim in
+  let config = Util.uni_config ~quantum:10 [ 1 ] in
+  let h = Hist.create () in
+  let bodies =
+    [|
+      (fun () ->
+        Eff.invocation "op" (fun () ->
+            ignore
+              (Hist.wrap h ~pid:0 `Op (fun () ->
+                   Eff.local "a";
+                   Eff.local "b";
+                   42))));
+    |]
+  in
+  ignore (Util.run ~config ~policy:Policy.first bodies);
+  match Hist.entries h with
+  | [ { pid = 0; op = `Op; result = 42; t0 = 0; t1 = 2 } ] -> ()
+  | _ -> Alcotest.fail "unexpected history"
+
+(* Property: any genuinely sequential history replayed through its own
+   spec is accepted. *)
+let prop_sequential_always_ok =
+  Util.qtest ~count:200 "sequential histories accepted"
+    QCheck2.Gen.(list_size (int_range 0 12) (int_range 0 30))
+    (fun writes ->
+      let _, entries =
+        List.fold_left
+          (fun (t, acc) v ->
+            (t + 2, e 0 (`Set v) 0 t (t + 1) :: e 0 `Get v (t + 10_000) (t + 10_001) :: acc))
+          (0, []) writes
+      in
+      (* interleave gets after all sets to keep it simple and valid *)
+      let sets = List.filter (fun x -> x.Hist.t0 < 10_000) entries in
+      let final = match writes with [] -> None | l -> Some (List.nth l (List.length l - 1)) in
+      let h =
+        match final with
+        | None -> sets
+        | Some v -> e 1 `Get v 9_000 9_001 :: sets
+      in
+      Lincheck.check reg_spec h = Ok ())
+
+let () =
+  Alcotest.run "lincheck"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "sequential valid" `Quick test_sequential_valid;
+          Alcotest.test_case "sequential invalid" `Quick test_sequential_invalid;
+          Alcotest.test_case "concurrent reorder" `Quick test_concurrent_reorder;
+          Alcotest.test_case "realtime respected" `Quick test_realtime_respected;
+          Alcotest.test_case "two writers" `Quick test_two_writers_read_order;
+          Alcotest.test_case "cas history" `Quick test_cas_history;
+          Alcotest.test_case "too long" `Quick test_too_long;
+          Alcotest.test_case "SC strictly weaker" `Quick test_sequential_consistency_weaker;
+          Alcotest.test_case "hist recorder" `Quick test_hist_recorder;
+        ] );
+      ("props", [ prop_sequential_always_ok ]);
+    ]

@@ -1,0 +1,134 @@
+open Hwf_sim
+open Hwf_objects
+
+(* Run a single-process body on a trivial machine and return its value. *)
+let solo body =
+  let config = Util.uni_config ~quantum:100 [ 1 ] in
+  let out = ref None in
+  let bodies = [| (fun () -> Eff.invocation "op" (fun () -> out := Some (body ()))) |] in
+  ignore (Util.run ~config ~policy:Policy.first bodies);
+  Option.get !out
+
+let test_cons_first_wins () =
+  let v =
+    solo (fun () ->
+        let o = Cons_obj.make ~consensus_number:3 "o" in
+        let a = Cons_obj.propose o 7 in
+        let b = Cons_obj.propose o 9 in
+        (a, b))
+  in
+  Alcotest.(check (pair (option int) (option int))) "first wins" (Some 7, Some 7) v
+
+let test_cons_exhaustion () =
+  let v =
+    solo (fun () ->
+        let o = Cons_obj.make ~consensus_number:2 "o" in
+        let a = Cons_obj.propose o 1 in
+        let b = Cons_obj.propose o 2 in
+        let c = Cons_obj.propose o 3 in
+        (a, b, c, Cons_obj.exhausted o))
+  in
+  let a, b, c, ex = v in
+  Alcotest.(check (option int)) "1st" (Some 1) a;
+  Alcotest.(check (option int)) "2nd" (Some 1) b;
+  Alcotest.(check (option int)) "3rd returns bottom" None c;
+  Util.checkb "exhausted" ex
+
+let test_cons_read_free () =
+  let v =
+    solo (fun () ->
+        let o = Cons_obj.make ~consensus_number:1 "o" in
+        let r0 = Cons_obj.read o in
+        let _ = Cons_obj.propose o 5 in
+        let r1 = Cons_obj.read o in
+        (r0, r1, Cons_obj.invocations o))
+  in
+  let r0, r1, inv = v in
+  Alcotest.(check (option int)) "before" None r0;
+  Alcotest.(check (option int)) "after" (Some 5) r1;
+  Util.checki "reads don't count" 1 inv
+
+let test_cons_infinite_default () =
+  let v =
+    solo (fun () ->
+        let o = Cons_obj.make "o" in
+        for i = 0 to 99 do
+          ignore (Cons_obj.propose o i)
+        done;
+        Cons_obj.propose o 123)
+  in
+  Alcotest.(check (option int)) "never exhausted" (Some 0) v
+
+let test_cons_bad_number () =
+  Alcotest.check_raises "C >= 1"
+    (Invalid_argument "Cons_obj.make: consensus_number < 1") (fun () ->
+      ignore (Cons_obj.make ~consensus_number:0 "o"))
+
+let test_hw_cas () =
+  let v =
+    solo (fun () ->
+        let x = Hw_atomic.make "x" 10 in
+        let ok = Hw_atomic.cas x ~expected:10 ~desired:20 in
+        let bad = Hw_atomic.cas x ~expected:10 ~desired:30 in
+        (ok, bad, Hw_atomic.read x))
+  in
+  Alcotest.(check (triple bool bool int)) "cas semantics" (true, false, 20) v
+
+let test_hw_faa () =
+  let v =
+    solo (fun () ->
+        let x = Hw_atomic.make "x" 5 in
+        let a = Hw_atomic.fetch_and_add x 3 in
+        let b = Hw_atomic.fetch_and_add x (-1) in
+        (a, b, Hw_atomic.peek x))
+  in
+  Alcotest.(check (triple int int int)) "faa" (5, 8, 7) v
+
+let test_hw_write () =
+  let v =
+    solo (fun () ->
+        let x = Hw_atomic.make "x" 0 in
+        Hw_atomic.write x 9;
+        Hw_atomic.read x)
+  in
+  Util.checki "write/read" 9 v
+
+(* Concurrent: hardware consensus object decides exactly one value under
+   any schedule. *)
+let prop_cons_agreement =
+  Util.qtest ~count:50 "hw consensus agrees under random schedules"
+    QCheck2.Gen.(int_range 0 5_000)
+    (fun seed ->
+      let config = Util.uni_config ~quantum:1 [ 1; 1; 1 ] in
+      let o = Cons_obj.make ~consensus_number:3 "o" in
+      let outs = Array.make 3 None in
+      let bodies =
+        Array.init 3 (fun pid () ->
+            Eff.invocation "p" (fun () -> outs.(pid) <- Cons_obj.propose o pid))
+      in
+      let r = Engine.run ~config ~policy:(Policy.random ~seed) bodies in
+      Array.for_all Fun.id r.finished
+      &&
+      match Array.to_list outs |> List.filter_map Fun.id with
+      | v :: rest -> List.for_all (( = ) v) rest && v >= 0 && v < 3
+      | [] -> false)
+
+let () =
+  Alcotest.run "objects"
+    [
+      ( "cons_obj",
+        [
+          Alcotest.test_case "first wins" `Quick test_cons_first_wins;
+          Alcotest.test_case "exhaustion" `Quick test_cons_exhaustion;
+          Alcotest.test_case "read free" `Quick test_cons_read_free;
+          Alcotest.test_case "infinite default" `Quick test_cons_infinite_default;
+          Alcotest.test_case "bad consensus number" `Quick test_cons_bad_number;
+        ] );
+      ( "hw_atomic",
+        [
+          Alcotest.test_case "cas" `Quick test_hw_cas;
+          Alcotest.test_case "fetch-and-add" `Quick test_hw_faa;
+          Alcotest.test_case "write" `Quick test_hw_write;
+        ] );
+      ("props", [ prop_cons_agreement ]);
+    ]

@@ -1,0 +1,119 @@
+open Hwf_sim
+
+(* The policy combinators and scheduler-facing engine edge cases. *)
+
+let counter_body log pid k () =
+  Eff.invocation "w" (fun () ->
+      for _ = 1 to k do
+        Eff.local "s";
+        log := pid :: !log
+      done)
+
+let run ~pris ~quantum ~policy ~steps_per =
+  let config = Util.uni_config ~quantum pris in
+  let log = ref [] in
+  let bodies = Array.init (List.length pris) (fun pid -> counter_body log pid steps_per) in
+  let r = Util.run ~config ~policy bodies in
+  (r, List.rev !log)
+
+let test_first_deterministic () =
+  let _, order1 = run ~pris:[ 1; 1 ] ~quantum:4 ~policy:Policy.first ~steps_per:3 in
+  let _, order2 = run ~pris:[ 1; 1 ] ~quantum:4 ~policy:Policy.first ~steps_per:3 in
+  Alcotest.(check (list int)) "deterministic" order1 order2;
+  Alcotest.(check (list int)) "p0 runs to completion first" [ 0; 0; 0; 1; 1; 1 ] order1
+
+let test_highest_pid () =
+  let _, order = run ~pris:[ 1; 1 ] ~quantum:4 ~policy:Policy.highest_pid ~steps_per:2 in
+  Alcotest.(check (list int)) "p1 first" [ 1; 1; 0; 0 ] order
+
+let test_by_priority_wakes_high () =
+  (* by_priority runs the high-priority process first even though it has
+     the larger pid (and is initially thinking). *)
+  let _, order = run ~pris:[ 1; 3; 2 ] ~quantum:4 ~policy:Policy.by_priority ~steps_per:2 in
+  Alcotest.(check (list int)) "priority order" [ 1; 1; 2; 2; 0; 0 ] order
+
+let test_prefer_chain () =
+  let policy = Policy.prefer [ 2; 0 ] ~fallback:Policy.first in
+  let _, order = run ~pris:[ 1; 1; 1 ] ~quantum:100 ~policy ~steps_per:2 in
+  Alcotest.(check (list int)) "2 then 0 then fallback" [ 2; 2; 0; 0; 1; 1 ] order
+
+let test_round_robin_fairness () =
+  let r, order =
+    run ~pris:[ 1; 1; 1 ] ~quantum:2 ~policy:(Policy.round_robin ()) ~steps_per:6
+  in
+  Util.checkb "finished" (Array.for_all Fun.id r.finished);
+  (* every process appears; no process trails more than 2 quanta behind *)
+  List.iter (fun pid -> Util.checkb "present" (List.mem pid order)) [ 0; 1; 2 ]
+
+let test_random_seeded_reproducible () =
+  let _, o1 = run ~pris:[ 1; 1; 1 ] ~quantum:3 ~policy:(Policy.random ~seed:7) ~steps_per:4 in
+  let _, o2 = run ~pris:[ 1; 1; 1 ] ~quantum:3 ~policy:(Policy.random ~seed:7) ~steps_per:4 in
+  let _, o3 = run ~pris:[ 1; 1; 1 ] ~quantum:3 ~policy:(Policy.random ~seed:8) ~steps_per:4 in
+  Alcotest.(check (list int)) "same seed same schedule" o1 o2;
+  Util.checkb "different seed differs somewhere" (o1 <> o3 || List.length o1 = 0)
+
+let test_scripted_strict_stops () =
+  (* Without a fallback, a non-runnable script entry stops the run. *)
+  let config = Util.uni_config ~quantum:4 [ 1; 2 ] in
+  let log = ref [] in
+  let bodies = [| counter_body log 0 3; counter_body log 1 3 |] in
+  (* p1 (high) starts; then the script demands p0 while p1 is
+     mid-invocation: illegal, hence not runnable, hence stop. *)
+  let policy = Policy.scripted [ 1; 0 ] in
+  let r = Engine.run ~config ~policy bodies in
+  Util.checkb "stopped" (r.stop = Engine.Policy_stopped);
+  Util.checki "only one statement ran" 1 (Trace.statements r.trace)
+
+let test_zero_quantum () =
+  (* Q = 0: the guarantee is empty, every point is preemptable — the
+     asynchronous limit. Runs still complete under any policy. *)
+  let r, order =
+    run ~pris:[ 1; 1 ] ~quantum:0
+      ~policy:(Hwf_adversary.Stagger.max_interleave ())
+      ~steps_per:4
+  in
+  Util.checkb "finished" (Array.for_all Fun.id r.finished);
+  (* with no guarantee, max-interleave alternates every statement *)
+  let rec alternating = function
+    | a :: (b :: _ as rest) -> a <> b && alternating rest
+    | _ -> true
+  in
+  Util.checkb "strict alternation" (alternating order)
+
+let test_empty_program_set () =
+  let config = Util.uni_config ~quantum:4 [ 1 ] in
+  let r = Engine.run ~config ~policy:Policy.first [| (fun () -> ()) |] in
+  Util.checkb "immediately finished" (Array.for_all Fun.id r.finished);
+  Util.checki "no statements" 0 (Trace.statements r.trace)
+
+let test_policy_rejects_non_runnable_choice () =
+  let config = Util.uni_config ~quantum:4 [ 1; 2 ] in
+  let log = ref [] in
+  let bodies = [| counter_body log 0 3; counter_body log 1 3 |] in
+  (* always answer p0 even when p1 (higher, mid-invocation) blocks it *)
+  let evil = Policy.of_fun "evil" (fun v -> if v.step = 0 then Some 1 else Some 0) in
+  match Engine.run ~config ~policy:evil bodies with
+  | exception Invalid_argument msg -> Util.checkb "names policy" (Util.contains msg "evil")
+  | _ -> Alcotest.fail "accepted a non-runnable choice"
+
+let () =
+  Alcotest.run "policy"
+    [
+      ( "combinators",
+        [
+          Alcotest.test_case "first deterministic" `Quick test_first_deterministic;
+          Alcotest.test_case "highest pid" `Quick test_highest_pid;
+          Alcotest.test_case "by priority" `Quick test_by_priority_wakes_high;
+          Alcotest.test_case "prefer chain" `Quick test_prefer_chain;
+          Alcotest.test_case "round robin fairness" `Quick test_round_robin_fairness;
+          Alcotest.test_case "random reproducible" `Quick test_random_seeded_reproducible;
+          Alcotest.test_case "scripted strict" `Quick test_scripted_strict_stops;
+        ] );
+      ( "engine edges",
+        [
+          Alcotest.test_case "zero quantum" `Quick test_zero_quantum;
+          Alcotest.test_case "empty program" `Quick test_empty_program_set;
+          Alcotest.test_case "rejects non-runnable" `Quick
+            test_policy_rejects_non_runnable_choice;
+        ] );
+    ]

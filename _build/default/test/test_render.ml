@@ -1,0 +1,95 @@
+open Hwf_sim
+
+(* The ASCII interleaving renderer (Figs. 1-2). *)
+
+let simple_run ~pris ~quantum ~script ~steps_per =
+  let config = Util.uni_config ~quantum pris in
+  let bodies =
+    Array.init (List.length pris) (fun _ () ->
+        Eff.invocation "w" (fun () ->
+            for _ = 1 to steps_per do
+              Eff.local "s"
+            done))
+  in
+  let policy = Policy.scripted ~fallback:Policy.first script in
+  (Util.run ~config ~policy bodies).trace
+
+let lines s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let test_lane_per_process () =
+  let trace = simple_run ~pris:[ 1; 1 ] ~quantum:4 ~script:[ 0; 1 ] ~steps_per:2 in
+  let out = Render.lanes trace in
+  (* two process lanes + quantum ruler *)
+  Util.checki "three lines" 3 (List.length (lines out));
+  Util.checkb "p1 lane" (Util.contains out "p1");
+  Util.checkb "p2 lane" (Util.contains out "p2");
+  Util.checkb "ruler" (Util.contains out "Q=4")
+
+let test_brackets_and_preemption_dots () =
+  let trace = simple_run ~pris:[ 1; 1 ] ~quantum:8 ~script:[ 0; 1; 1; 0 ] ~steps_per:2 in
+  let out = Render.lanes trace in
+  Util.checkb "open bracket" (String.contains out '[');
+  Util.checkb "close bracket" (String.contains out ']');
+  Util.checkb "preemption dots" (String.contains out '.')
+
+let test_priority_order_top_down () =
+  let trace = simple_run ~pris:[ 1; 3; 2 ] ~quantum:8 ~script:[] ~steps_per:1 in
+  let out = Render.lanes trace in
+  let idx sub =
+    (* position of first occurrence; -1 if absent *)
+    let rec find i =
+      if i + String.length sub > String.length out then -1
+      else if String.sub out i (String.length sub) = sub then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  Util.checkb "highest priority lane first" (idx "pri=3" < idx "pri=2");
+  Util.checkb "then middle" (idx "pri=2" < idx "pri=1")
+
+let test_truncation () =
+  let config = Util.uni_config ~quantum:8 [ 1 ] in
+  let bodies =
+    [|
+      (fun () ->
+        Eff.invocation "w" (fun () ->
+            for _ = 1 to 500 do
+              Eff.local "s"
+            done));
+    |]
+  in
+  let trace = (Util.run ~config ~policy:Policy.first bodies).trace in
+  let out = Render.lanes ~max_width:50 trace in
+  Util.checkb "ellipsis marker" (Util.contains out "...");
+  List.iter
+    (fun l -> Util.checkb "line capped" (String.length l <= 50 + 20))
+    (lines out)
+
+let test_no_ruler_on_multiprocessor () =
+  let procs =
+    [
+      Proc.make ~pid:0 ~processor:0 ~priority:1 ();
+      Proc.make ~pid:1 ~processor:1 ~priority:1 ();
+    ]
+  in
+  let config = Config.make ~quantum:4 ~processors:2 ~levels:1 procs in
+  let bodies =
+    Array.init 2 (fun _ () -> Eff.invocation "w" (fun () -> Eff.local "s"))
+  in
+  let trace = (Util.run ~config ~policy:Policy.first bodies).trace in
+  Util.checkb "no quantum ruler across processors"
+    (not (Util.contains (Render.lanes trace) "Q=4"))
+
+let () =
+  Alcotest.run "render"
+    [
+      ( "lanes",
+        [
+          Alcotest.test_case "lane per process" `Quick test_lane_per_process;
+          Alcotest.test_case "brackets and dots" `Quick test_brackets_and_preemption_dots;
+          Alcotest.test_case "priority order" `Quick test_priority_order_top_down;
+          Alcotest.test_case "truncation" `Quick test_truncation;
+          Alcotest.test_case "no ruler on multiprocessor" `Quick
+            test_no_ruler_on_multiprocessor;
+        ] );
+    ]
