@@ -30,6 +30,7 @@ let experiments : (string * string * (quick:bool -> unit)) list =
     ("dynamic", "E13: dynamic priorities and renaming (Sec 5)", Exp_dynamic.run);
     ("time", "E14: the time model (Tmax/Tmin of Table 1)", Exp_time.run);
     ("crash", "E15: halting failures / wait-freedom", Exp_crash.run);
+    ("faults", "E16: fault-injection campaigns / wait-freedom certifier", Exp_faults.run);
   ]
 
 (* Bechamel micro-benchmarks: wall-clock cost of simulated operations. *)
@@ -88,14 +89,14 @@ let timing () =
     in
     ignore (Engine.run ~step_limit:4_000_000 ~config ~policy:(Policy.random ~seed:4) bodies)
   in
-  Bech.run_tests ~title:"core operations"
+  Microbench.run_tests ~title:"core operations"
     [
-      Bech.staged "fig3-consensus-2p" uni_consensus;
-      Bech.staged "q-cas-2p" q_cas;
-      Bech.staged "fig5-cas-v1" (hybrid_cas 1);
-      Bech.staged "fig5-cas-v4" (hybrid_cas 4);
-      Bech.staged "fig7-consensus-p2c2" multi_consensus;
-      Bech.staged "universal-counter-3p" universal_counter;
+      Microbench.staged "fig3-consensus-2p" uni_consensus;
+      Microbench.staged "q-cas-2p" q_cas;
+      Microbench.staged "fig5-cas-v1" (hybrid_cas 1);
+      Microbench.staged "fig5-cas-v4" (hybrid_cas 4);
+      Microbench.staged "fig7-consensus-p2c2" multi_consensus;
+      Microbench.staged "universal-counter-3p" universal_counter;
     ]
 
 let () =

@@ -367,6 +367,110 @@ let sweep_cmd =
           battery — one Table 1 row, live.")
     term
 
+(* ---- faults: the wait-freedom certifier ---- *)
+
+let faults_cmd =
+  let open Hwf_faults in
+  let subjects =
+    [
+      ("fig3", Suite.fig3);
+      ("fig3-time", Suite.fig3_time);
+      ("fig5", Suite.fig5);
+      ("fig7", Suite.fig7);
+      ("universal", Suite.universal);
+    ]
+  in
+  let subject_arg =
+    let doc =
+      "Subjects to certify (repeatable): fig3, fig3-time, fig5, fig7, universal. \
+       Default: all."
+    in
+    Arg.(
+      value
+      & opt_all (enum (List.map (fun (n, _) -> (n, n)) subjects)) []
+      & info [ "s"; "subject" ] ~docv:"SUBJECT" ~doc)
+  in
+  let full_arg =
+    let doc = "Exhaustive sweeps (default: strided quick sweeps)." in
+    Arg.(value & flag & info [ "full" ] ~doc)
+  in
+  let negative_arg =
+    let doc =
+      "Also run the negative control (Fig. 3 with Axiom 2 suspended); it must be \
+       rejected, and certification fails if it is not."
+    in
+    Arg.(value & flag & info [ "negative" ] ~doc)
+  in
+  let action chosen seed full negative =
+    let chosen =
+      if chosen = [] then subjects
+      else List.filter (fun (n, _) -> List.mem n chosen) subjects
+    in
+    let rows = ref [] and all_ok = ref true in
+    let failures = ref [] in
+    List.iter
+      (fun (_, make_subject) ->
+        let subject = make_subject ?seed:(Some seed) () in
+        let plans = Suite.campaign ~quick:(not full) ~seed subject in
+        let report = Certify.certify subject plans in
+        if not (Certify.certified report) then begin
+          all_ok := false;
+          failures := report :: !failures
+        end;
+        rows :=
+          [
+            report.Certify.subject;
+            string_of_int report.Certify.plans;
+            string_of_int report.Certify.passed;
+            string_of_int report.Certify.blocked;
+            string_of_int report.Certify.worst_own_steps;
+            report.Certify.bound_desc;
+            (if Certify.certified report then "CERTIFIED"
+             else Printf.sprintf "FAILED (%d)" (List.length report.Certify.failures));
+          ]
+          :: !rows)
+      chosen;
+    if negative then begin
+      let subject = Suite.negative () in
+      let report = Certify.certify subject [ Suite.negative_plan ] in
+      let rejected = not (Certify.certified report) in
+      if not rejected then all_ok := false;
+      rows :=
+        [
+          report.Certify.subject;
+          "1";
+          string_of_int report.Certify.passed;
+          string_of_int report.Certify.blocked;
+          string_of_int report.Certify.worst_own_steps;
+          report.Certify.bound_desc;
+          (if rejected then "REJECTED (expected)" else "NOT REJECTED (certifier bug!)");
+        ]
+        :: !rows
+    end;
+    let header = [ "subject"; "plans"; "passed"; "blocked"; "worst"; "bound"; "verdict" ] in
+    let rows = header :: List.rev !rows in
+    let widths =
+      List.init (List.length header) (fun i ->
+          List.fold_left (fun acc r -> max acc (String.length (List.nth r i))) 0 rows)
+    in
+    List.iteri
+      (fun k r ->
+        Fmt.pr "%s@."
+          (String.concat "  " (List.map2 (Printf.sprintf "%-*s") widths r));
+        if k = 0 then
+          Fmt.pr "%s@." (String.concat "  " (List.map (fun w -> String.make w '-') widths)))
+      rows;
+    List.iter (fun r -> Fmt.pr "@.%a@." Certify.pp_report r) (List.rev !failures);
+    if not !all_ok then exit 1
+  in
+  let term = Term.(const action $ subject_arg $ seed_arg $ full_arg $ negative_arg) in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Certify wait-freedom of the core algorithms under fault-plan sweeps \
+          (crash points, adversarial costs, chaos), printing a report table.")
+    term
+
 (* ---- trace: Fig. 1/2 demo ---- *)
 
 let trace_cmd =
@@ -402,5 +506,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; explore_cmd; replay_cmd; analyze_cmd; bivalence_cmd; cas_cmd;
-            bounds_cmd; sweep_cmd; trace_cmd;
+            bounds_cmd; sweep_cmd; faults_cmd; trace_cmd;
           ]))

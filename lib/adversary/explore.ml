@@ -30,7 +30,8 @@ let verdict ~on_step_limit instance (result : Engine.result) =
   | [] -> (
     match (result.stop, on_step_limit) with
     | Engine.Step_limit, `Fail -> Error "step limit hit (possible non-termination)"
-    | (Engine.Step_limit | Engine.All_finished | Engine.Policy_stopped), _ ->
+    | (Engine.Step_limit | Engine.All_finished | Engine.Policy_stopped
+      | Engine.All_halted), _ ->
       instance.check result)
 
 (* Run one schedule: follow [prefix] (indices into the candidate lists),

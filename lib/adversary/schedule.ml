@@ -41,4 +41,5 @@ let verdict ?step_limit scenario schedule =
   | [] -> (
     match result.stop with
     | Engine.Step_limit -> Error "step limit hit"
-    | Engine.All_finished | Engine.Policy_stopped -> instance.check result)
+    | Engine.All_finished | Engine.Policy_stopped | Engine.All_halted ->
+      instance.check result)

@@ -1,21 +1,16 @@
-let fails ?step_limit scenario schedule =
-  match Schedule.verdict ?step_limit scenario schedule with
-  | Error _ -> true
-  | Ok () -> false
-
 (* Remove the half-open index range [i, j) from a list. *)
 let remove_range l i j =
   List.filteri (fun idx _ -> idx < i || idx >= j) l
 
-let shrink ?(max_rounds = 200) ?step_limit scenario failing =
-  if not (fails ?step_limit scenario failing) then failing
+let shrink_by ?(max_rounds = 200) ~fails failing =
+  if not (fails failing) then failing
   else begin
     let budget = ref max_rounds in
     let try_candidate cur cand =
       if !budget <= 0 || List.length cand >= List.length cur then None
       else begin
         decr budget;
-        if fails ?step_limit scenario cand then Some cand else None
+        if fails cand then Some cand else None
       end
     in
     (* Phase 1: drop exponentially shrinking chunks. *)
@@ -50,3 +45,11 @@ let shrink ?(max_rounds = 200) ?step_limit scenario failing =
     in
     singles cur
   end
+
+let shrink ?max_rounds ?step_limit scenario failing =
+  let fails schedule =
+    match Schedule.verdict ?step_limit scenario schedule with
+    | Error _ -> true
+    | Ok () -> false
+  in
+  shrink_by ?max_rounds ~fails failing

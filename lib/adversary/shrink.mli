@@ -19,3 +19,11 @@ val shrink :
 (** [shrink scenario failing] returns a minimized failing schedule.
     If [failing] does not actually fail on replay, it is returned
     unchanged. [max_rounds] (default 200) bounds replays. *)
+
+val shrink_by :
+  ?max_rounds:int -> fails:(Schedule.t -> bool) -> Schedule.t -> Schedule.t
+(** The same minimization against an arbitrary failure predicate.
+    [fails] must be deterministic (replay-based); it is called up to
+    [max_rounds] + 1 times. Used by fault-injection campaigns, where
+    replay re-runs the whole faulted configuration, not just a bare
+    scenario. *)

@@ -2,21 +2,42 @@ open Hwf_sim
 
 type ('op, 'r) entry = { pid : int; op : 'op; result : 'r; t0 : int; t1 : int }
 
-type ('op, 'r) t = ('op, 'r) entry Vec.t
+type ('op, 'r) t = {
+  completed : ('op, 'r) entry Vec.t;
+  mutable started : (int * 'op * int) list;  (* (pid, op, t0), newest first *)
+}
 
-let create () = Vec.create ()
+let create () = { completed = Vec.create (); started = [] }
+
+let remove_first p l =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | x :: tl -> if p x then List.rev_append acc tl else go (x :: acc) tl
+  in
+  go [] l
 
 let wrap h ~pid op f =
   let t0 = Eff.now () in
+  h.started <- (pid, op, t0) :: h.started;
   let result = f () in
   let t1 = Eff.now () in
-  Vec.push h { pid; op; result; t0; t1 };
+  h.started <- remove_first (fun (p, _, s) -> p = pid && s = t0) h.started;
+  Vec.push h.completed { pid; op; result; t0; t1 };
   result
 
-let entries h = Vec.to_list h
+let entries h = Vec.to_list h.completed
+
+let pending h = List.rev h.started
 
 let pp ~op ~result ppf h =
   let pp_entry ppf e =
     Fmt.pf ppf "[%d,%d) p%d: %a -> %a" e.t0 e.t1 (e.pid + 1) op e.op result e.result
   in
-  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@,") pp_entry) (entries h)
+  let pp_pending ppf (pid, o, t0) =
+    Fmt.pf ppf "[%d,?) p%d: %a -> PENDING" t0 (pid + 1) op o
+  in
+  Fmt.pf ppf "@[<v>%a%a@]"
+    Fmt.(list ~sep:(any "@,") pp_entry)
+    (entries h)
+    Fmt.(list ~sep:nop (fun ppf e -> Fmt.pf ppf "@,%a" pp_pending e))
+    (pending h)

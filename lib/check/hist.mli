@@ -18,11 +18,19 @@ type ('op, 'r) t
 val create : unit -> ('op, 'r) t
 
 val wrap : ('op, 'r) t -> pid:int -> 'op -> (unit -> 'r) -> 'r
-(** [wrap h ~pid op f] runs [f ()], records the completed operation and
-    returns its result. Must run inside the simulator. *)
+(** [wrap h ~pid op f] registers the operation as started, runs [f ()],
+    records the completed operation and returns its result. Must run
+    inside the simulator. *)
 
 val entries : ('op, 'r) t -> ('op, 'r) entry list
 (** In completion order. Harness use (after the run). *)
+
+val pending : ('op, 'r) t -> (int * 'op * int) list
+(** [(pid, op, t0)] for operations begun by {!wrap} but never completed
+    — the process crashed or was parked mid-operation. Their effects may
+    or may not be visible to other processes, so a linearizability
+    checker must treat each as optionally taking effect anywhere after
+    [t0] (see {!Lincheck.check_with_pending}). In start order. *)
 
 val pp :
   op:'op Fmt.t -> result:'r Fmt.t -> ('op, 'r) t Fmt.t

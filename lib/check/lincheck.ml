@@ -7,27 +7,33 @@ exception Found
 
 (* A compact bitmask identifies the set of already-linearized operations;
    histories beyond 62 operations are rejected up front (the suites stay
-   far below that). *)
-(* Shared search: [precede] gives, per op, the bitmask of ops that must
-   come earlier in any witness order. *)
-let search_order spec entries precede =
+   far below that).
+
+   Shared search: [precede] gives, per op, the bitmask of ops that must
+   come earlier in any witness order. [results.(i)] is [Some r] when op
+   [i] completed and must reproduce [r]; [None] marks a pending op
+   (begun by a process that crashed mid-operation) whose result is
+   unconstrained and whose linearization is optional. [required] is the
+   bitmask of completed ops: the search succeeds as soon as every
+   required op has been linearized, whether or not any pending op was. *)
+let search_order spec ~ops ~results ~precede ~required =
   match spec with
   | Spec { init; apply } ->
-    let n = Array.length entries in
+    let n = Array.length ops in
     begin
-      let full = (1 lsl n) - 1 in
       let seen = Hashtbl.create 1024 in
       let rec search done_mask state =
-        if done_mask = full then raise Found;
+        if done_mask land required = required then raise Found;
         let key = (done_mask, state) in
         if not (Hashtbl.mem seen key) then begin
           Hashtbl.add seen key ();
           for i = 0 to n - 1 do
             let bit = 1 lsl i in
             if done_mask land bit = 0 && precede.(i) land lnot done_mask = 0 then begin
-              let e = entries.(i) in
-              let state', r = apply state e.Hist.op in
-              if r = e.Hist.result then search (done_mask lor bit) state'
+              let state', r = apply state ops.(i) in
+              match results.(i) with
+              | Some expected when r <> expected -> ()
+              | Some _ | None -> search (done_mask lor bit) state'
             end
           done
         end
@@ -52,11 +58,60 @@ let check spec entries =
           done;
           !mask)
     in
-    match search_order spec entries precede with
+    let ops = Array.map (fun e -> e.Hist.op) entries in
+    let results = Array.map (fun e -> Some e.Hist.result) entries in
+    match search_order spec ~ops ~results ~precede ~required:((1 lsl n) - 1) with
     | Ok () -> Ok ()
     | Error _ -> Error "not linearizable: no valid linearization order exists"
 
 let check_hist spec hist = check spec (Hist.entries hist)
+
+let check_with_pending spec entries ~pending =
+  let completed = Array.of_list entries in
+  let pend = Array.of_list pending in
+  let nc = Array.length completed in
+  let np = Array.length pend in
+  let n = nc + np in
+  if n > 62 then Error "Lincheck.check_with_pending: history too long (> 62 operations)"
+  else
+    (* Indices [0, nc) are completed ops with their real-time interval;
+       [nc, n) are pending ops, whose interval is [t0, +inf): every
+       completed op that finished before t0 must precede them, and they
+       precede nothing. *)
+    let ops =
+      Array.init n (fun i ->
+          if i < nc then completed.(i).Hist.op
+          else
+            let _, op, _ = pend.(i - nc) in
+            op)
+    in
+    let results =
+      Array.init n (fun i -> if i < nc then Some completed.(i).Hist.result else None)
+    in
+    let t0 i =
+      if i < nc then completed.(i).Hist.t0
+      else
+        let _, _, t0 = pend.(i - nc) in
+        t0
+    in
+    let precede =
+      Array.init n (fun i ->
+          let start = t0 i in
+          let mask = ref 0 in
+          for j = 0 to nc - 1 do
+            if j <> i && completed.(j).Hist.t1 <= start then mask := !mask lor (1 lsl j)
+          done;
+          !mask)
+    in
+    match search_order spec ~ops ~results ~precede ~required:((1 lsl nc) - 1) with
+    | Ok () -> Ok ()
+    | Error _ ->
+      Error
+        "not linearizable: no valid linearization order exists (even allowing \
+         pending operations to take effect or not)"
+
+let check_hist_with_pending spec hist =
+  check_with_pending spec (Hist.entries hist) ~pending:(Hist.pending hist)
 
 let check_sequential_consistency spec entries =
   let entries = Array.of_list entries in
@@ -74,6 +129,8 @@ let check_sequential_consistency spec entries =
           done;
           !mask)
     in
-    match search_order spec entries precede with
+    let ops = Array.map (fun e -> e.Hist.op) entries in
+    let results = Array.map (fun e -> Some e.Hist.result) entries in
+    match search_order spec ~ops ~results ~precede ~required:((1 lsl n) - 1) with
     | Ok () -> Ok ()
     | Error _ -> Error "not sequentially consistent: no program-order-respecting order"

@@ -21,6 +21,25 @@ val check : ('op, 'r) spec -> ('op, 'r) Hist.entry list -> (unit, string) result
 
 val check_hist : ('op, 'r) spec -> ('op, 'r) Hist.t -> (unit, string) result
 
+val check_with_pending :
+  ('op, 'r) spec ->
+  ('op, 'r) Hist.entry list ->
+  pending:(int * 'op * int) list ->
+  (unit, string) result
+(** Like {!check}, but tolerant of {e pending} operations: ops that were
+    started (at statement count [t0]) by a process that crashed before
+    returning. A crashed process may have taken effect on shared memory
+    before halting, so each pending op may be linearized at any point
+    after [t0] — with an unconstrained result, since none was observed —
+    or omitted entirely. The history is accepted iff some such choice
+    makes the completed operations linearizable. [pending] elements are
+    [(pid, op, t0)] as returned by {!Hist.pending}. *)
+
+val check_hist_with_pending :
+  ('op, 'r) spec -> ('op, 'r) Hist.t -> (unit, string) result
+(** [check_with_pending] applied to a recorder's completed and pending
+    operations. The right default check for runs with crash faults. *)
+
 val check_sequential_consistency :
   ('op, 'r) spec -> ('op, 'r) Hist.entry list -> (unit, string) result
 (** The weaker criterion: a total order that respects only each

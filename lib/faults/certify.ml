@@ -1,0 +1,169 @@
+open Hwf_sim
+open Hwf_adversary
+
+type instance = {
+  programs : (unit -> unit) array;
+  check : survivors:Proc.pid list -> Engine.result -> (unit, string) result;
+}
+
+type subject = {
+  name : string;
+  config : Config.t;
+  policy : unit -> Policy.t;
+  make : unit -> instance;
+  step_bound : int;
+  bound_desc : string;
+  step_limit : int;
+}
+
+type verdict = Pass of { blocked : bool } | Fail of string
+
+type failure = {
+  plan : Plan.t;
+  message : string;
+  schedule : Schedule.t;
+  shrunk_from : int;
+}
+
+type report = {
+  subject : string;
+  bound_desc : string;
+  plans : int;
+  passed : int;
+  blocked : int;
+  worst_own_steps : int;
+  failures : failure list;
+}
+
+let solo_own_steps subject =
+  let inst = subject.make () in
+  let r =
+    Inject.run ~step_limit:subject.step_limit ~plan:Plan.none ~config:subject.config
+      ~policy:(subject.policy ()) inst.programs
+  in
+  r.Engine.own_steps
+
+let judge subject (inst : instance) (r : Engine.result) =
+  let config = subject.config in
+  let n = Config.n config in
+  match Wellformed.check r.trace with
+  | v :: _ -> Fail (Fmt.str "ill-formed trace: %a" Wellformed.pp_violation v)
+  | [] ->
+    if r.stop = Engine.Step_limit then Fail "step limit hit (possible non-termination)"
+    else begin
+      let procs = config.Config.procs in
+      (* The model caveat of halting failures under Axiom 1: a parked
+         victim stays ready, so it permanently blocks strictly
+         lower-priority processes on its processor. Such survivors are
+         excused (the scheduler, not the algorithm, is starving them).
+         Equal-priority survivors are never excused — guarantees drain
+         before a victim parks, so Axiom 1 lets them run. *)
+      let blocked_by_victim p =
+        let me = procs.(p) in
+        let ok = ref false in
+        Array.iteri
+          (fun q hq ->
+            if
+              hq
+              && procs.(q).Proc.processor = me.Proc.processor
+              && procs.(q).Proc.priority > me.Proc.priority
+            then ok := true)
+          r.halted;
+        !ok
+      in
+      let unexcused = ref [] and blocked = ref false in
+      for p = n - 1 downto 0 do
+        if (not r.finished.(p)) && not r.halted.(p) then
+          if blocked_by_victim p then blocked := true else unexcused := p :: !unexcused
+      done;
+      match !unexcused with
+      | p :: _ ->
+        Fail
+          (Fmt.str
+             "survivor p%d did not finish (and no halted higher-priority victim blocks it)"
+             (p + 1))
+      | [] -> (
+        let over = ref [] in
+        Array.iteri
+          (fun p s -> if s > subject.step_bound then over := (p, s) :: !over)
+          r.own_steps;
+        match !over with
+        | (p, s) :: _ ->
+          Fail
+            (Fmt.str "p%d executed %d own statements, over the wait-freedom bound %d (%s)"
+               (p + 1) s subject.step_bound subject.bound_desc)
+        | [] -> (
+          let survivors = List.filter (fun p -> r.finished.(p)) (List.init n Fun.id) in
+          match inst.check ~survivors r with
+          | Ok () -> Pass { blocked = !blocked }
+          | Error m -> Fail m))
+    end
+
+let replay_judge subject plan schedule =
+  let inst = subject.make () in
+  let r =
+    Inject.replay ~step_limit:subject.step_limit ~plan ~config:subject.config ~schedule
+      inst.programs
+  in
+  judge subject inst r
+
+let run_plan subject plan =
+  let inst = subject.make () in
+  let result, decisions =
+    Inject.run_recorded ~step_limit:subject.step_limit ~plan ~config:subject.config
+      ~policy:(subject.policy ()) inst.programs
+  in
+  (judge subject inst result, result, decisions)
+
+let certify ?(shrink = true) ?(max_shrink_rounds = 200) subject plans =
+  let passed = ref 0 and blocked = ref 0 and worst = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun plan ->
+      let verdict, result, decisions = run_plan subject plan in
+      Array.iter (fun s -> if s > !worst then worst := s) result.Engine.own_steps;
+      match verdict with
+      | Pass { blocked = b } ->
+        incr passed;
+        if b then incr blocked
+      | Fail message ->
+        let fails sched =
+          match replay_judge subject plan sched with Fail _ -> true | Pass _ -> false
+        in
+        let schedule =
+          if shrink then Shrink.shrink_by ~max_rounds:max_shrink_rounds ~fails decisions
+          else decisions
+        in
+        (* Shrinking may converge on a different failure of the same
+           plan; report the message the shrunk schedule actually
+           produces. *)
+        let message =
+          match replay_judge subject plan schedule with Fail m -> m | Pass _ -> message
+        in
+        failures :=
+          { plan; message; schedule; shrunk_from = List.length decisions } :: !failures)
+    plans;
+  {
+    subject = subject.name;
+    bound_desc = subject.bound_desc;
+    plans = List.length plans;
+    passed = !passed;
+    blocked = !blocked;
+    worst_own_steps = !worst;
+    failures = List.rev !failures;
+  }
+
+let certified r = r.failures = []
+
+let pp_failure ppf f =
+  Fmt.pf ppf "@[<v2>plan [%a]: %s@,schedule (%d decisions, shrunk from %d): %s@]" Plan.pp
+    f.plan f.message (List.length f.schedule) f.shrunk_from
+    (Schedule.to_string f.schedule)
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>%s: %d/%d plans passed%s, worst own-steps %d (bound: %s)%a@]" r.subject
+    r.passed r.plans
+    (if r.blocked > 0 then Fmt.str " (%d with victim-blocked survivors)" r.blocked else "")
+    r.worst_own_steps r.bound_desc
+    Fmt.(list ~sep:nop (fun ppf f -> Fmt.pf ppf "@,%a" pp_failure f))
+    r.failures

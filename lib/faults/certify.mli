@@ -1,0 +1,92 @@
+(** The wait-freedom certifier.
+
+    Runs a {e subject} (an algorithm under a fixed machine shape, policy
+    and theorem bound) against a battery of fault plans and judges every
+    run on three counts:
+
+    + {b survivors finish} — every non-victim process completes its
+      program, unless a halted strictly-higher-priority victim on its
+      processor permanently blocks it (the model's Axiom 1 caveat:
+      a parked victim stays ready; such runs count as [blocked], not
+      failures — the scheduler is starving the survivor, not the
+      algorithm). Equal-priority survivors are never excused, because a
+      victim's quantum guarantee drains before it parks.
+    + {b bounded own work} — no process exceeds the subject's
+      [step_bound] own statements: O(1) for Theorem 1, O(V) per
+      operation for Theorem 2, O(L) for Theorem 4. Wait-freedom is a
+      bound on {e own} steps, so it must hold regardless of crashes.
+    + {b the subject's semantic check} — agreement/validity for
+      consensus, linearizability for objects (pending operations of
+      crashed processes handled by
+      {!Hwf_check.Lincheck.check_with_pending}).
+
+    Failing runs are minimized with {!Hwf_adversary.Shrink.shrink_by}
+    over the recorded decision sequence — replay re-applies the same
+    fault plan, so the shrunk schedule is a genuine counterexample of
+    the faulted configuration — and reported with both the plan and the
+    shrunk schedule. *)
+
+open Hwf_sim
+open Hwf_adversary
+
+type instance = {
+  programs : (unit -> unit) array;
+  check : survivors:Proc.pid list -> Engine.result -> (unit, string) result;
+      (** [survivors] lists the pids that finished; the check must only
+          constrain those (a victim's operation may be half-applied). *)
+}
+
+type subject = {
+  name : string;
+  config : Config.t;
+  policy : unit -> Policy.t;  (** Fresh policy per run (policies may be stateful). *)
+  make : unit -> instance;  (** Fresh shared object + programs per run. *)
+  step_bound : int;  (** Max own statements any process may execute. *)
+  bound_desc : string;  (** e.g. ["8 (Thm 1, O(1))"] — shown in reports. *)
+  step_limit : int;  (** Engine budget; hitting it is a failure. *)
+}
+
+type verdict = Pass of { blocked : bool } | Fail of string
+
+type failure = {
+  plan : Plan.t;
+  message : string;
+  schedule : Schedule.t;  (** Shrunk replay schedule. *)
+  shrunk_from : int;  (** Decision count before shrinking. *)
+}
+
+type report = {
+  subject : string;
+  bound_desc : string;
+  plans : int;
+  passed : int;
+  blocked : int;  (** Passing runs with victim-blocked survivors. *)
+  worst_own_steps : int;  (** Max own statements seen across all runs. *)
+  failures : failure list;
+}
+
+val solo_own_steps : subject -> int array
+(** Per-pid own statements of one unfaulted run — the crash-point sweep
+    bounds for {!Sweep.crash_points}. *)
+
+val judge : subject -> instance -> Engine.result -> verdict
+(** The three-verdict judgement described above, applied to one run. *)
+
+val run_plan : subject -> Plan.t -> verdict * Engine.result * Schedule.t
+(** One judged run under a plan, with its recorded decision sequence. *)
+
+val replay_judge : subject -> Plan.t -> Schedule.t -> verdict
+(** Deterministic re-execution (fresh instance, scripted policy) — the
+    predicate behind shrinking. *)
+
+val certify :
+  ?shrink:bool -> ?max_shrink_rounds:int -> subject -> Plan.t list -> report
+(** Run and judge every plan. [shrink] (default [true]) minimizes each
+    failing schedule. Deterministic: same subject, plans and seeds give
+    the same report. *)
+
+val certified : report -> bool
+(** No failures. *)
+
+val pp_failure : failure Fmt.t
+val pp_report : report Fmt.t

@@ -1,0 +1,88 @@
+open Hwf_sim
+
+type crash = { victim : Proc.pid; after : int }
+
+type cost = Uniform | Slow | Jitter of int
+
+type axiom2 = Enforced | Windows of { period : int; off : int; phase : int } | Suspended
+
+type t = { label : string; crashes : crash list; cost : cost; axiom2 : axiom2 }
+
+let none = { label = "none"; crashes = []; cost = Uniform; axiom2 = Enforced }
+
+let pp_crash ppf { victim; after } = Fmt.pf ppf "p%d@%d" (victim + 1) after
+
+let pp_cost ppf = function
+  | Uniform -> Fmt.string ppf "uniform"
+  | Slow -> Fmt.string ppf "slow"
+  | Jitter seed -> Fmt.pf ppf "jitter#%d" seed
+
+let pp_axiom2 ppf = function
+  | Enforced -> Fmt.string ppf "on"
+  | Windows { period; off; phase } -> Fmt.pf ppf "win(%d/%d+%d)" off period phase
+  | Suspended -> Fmt.string ppf "off"
+
+let describe t =
+  let parts = [] in
+  let parts =
+    match t.crashes with
+    | [] -> parts
+    | cs ->
+      ("crash " ^ String.concat ", " (List.map (Fmt.str "%a" pp_crash) cs)) :: parts
+  in
+  let parts =
+    match t.cost with Uniform -> parts | c -> Fmt.str "cost %a" pp_cost c :: parts
+  in
+  let parts =
+    match t.axiom2 with
+    | Enforced -> parts
+    | a -> Fmt.str "axiom2 %a" pp_axiom2 a :: parts
+  in
+  match List.rev parts with [] -> "no faults" | parts -> String.concat "; " parts
+
+let relabel t = { t with label = describe t }
+
+let crash_at ~victim ~after = relabel { none with crashes = [ { victim; after } ] }
+
+let crashes cs = relabel { none with crashes = cs }
+
+let with_cost cost t = relabel { t with cost }
+
+let with_axiom2 axiom2 t = relabel { t with axiom2 }
+
+let with_label label t = { t with label }
+
+let layer a b =
+  relabel
+    {
+      label = "";
+      crashes = a.crashes @ b.crashes;
+      cost = (match b.cost with Uniform -> a.cost | c -> c);
+      axiom2 = (match b.axiom2 with Enforced -> a.axiom2 | g -> g);
+    }
+
+let chaos ~seed ~n ~max_after =
+  let st = Random.State.make [| seed; 0xC4A05 |] in
+  let nvict = 1 + Random.State.int st (max 1 (n / 2)) in
+  let pool = Array.init n Fun.id in
+  (* Fisher–Yates prefix: pick [nvict] distinct victims. *)
+  for i = 0 to nvict - 1 do
+    let j = i + Random.State.int st (n - i) in
+    let tmp = pool.(i) in
+    pool.(i) <- pool.(j);
+    pool.(j) <- tmp
+  done;
+  let crashes =
+    List.init nvict (fun i ->
+        { victim = pool.(i); after = Random.State.int st (max_after + 1) })
+  in
+  let cost =
+    match Random.State.int st 3 with 0 -> Uniform | 1 -> Slow | _ -> Jitter seed
+  in
+  with_label
+    (Fmt.str "chaos#%d: %s" seed (describe { none with crashes; cost }))
+    { none with crashes; cost }
+
+let pp ppf t = Fmt.pf ppf "%s" t.label
+
+let to_string t = t.label

@@ -1,0 +1,69 @@
+(** Composable deterministic fault plans.
+
+    A plan bundles the three fault dimensions the certifier sweeps:
+
+    - {b crashes} — halting failures (paper Sec. 2: the scheduler simply
+      never allocates another quantum). Each victim is parked at the
+      first legal point once it has executed [after] of its own
+      statements {e and} holds no active quantum guarantee (protected
+      windows belong to the scheduler and are never cut short). A parked
+      victim still blocks lower-priority processes on its processor, per
+      Axiom 1.
+    - {b cost} — adversarial statement durations in the Table 1
+      time model: [Slow] charges every statement [tmax]; [Jitter seed]
+      picks a deterministic pseudo-random duration in [tmin..tmax] per
+      (step, pid), shrinking the number of statements a quantum
+      protects.
+    - {b axiom2} — windows during which the scheduler stops honouring
+      the Axiom 2 quantum guarantee. [Suspended] turns it off for the
+      whole run; [Windows] gates it off for the first [off] steps of
+      every [period]-step span (shifted by [phase]). Used as the
+      {e negative control}: the paper's algorithms must fail without
+      Axiom 2 (Sec. 2), and a certifier that cannot see them fail
+      proves nothing.
+
+    Plans are data: pure values, equal-by-structure, printable, and
+    replayable — the same plan plus the same schedule reproduces the
+    same run exactly. *)
+
+open Hwf_sim
+
+type crash = { victim : Proc.pid; after : int }
+(** Park [victim] once it has executed [after] own statements (and any
+    active quantum guarantee has drained). [after = 0] crashes it before
+    its first statement. *)
+
+type cost = Uniform | Slow | Jitter of int
+
+type axiom2 = Enforced | Windows of { period : int; off : int; phase : int } | Suspended
+
+type t = { label : string; crashes : crash list; cost : cost; axiom2 : axiom2 }
+
+val none : t
+(** The fault-free plan. *)
+
+val crash_at : victim:Proc.pid -> after:int -> t
+
+val crashes : crash list -> t
+
+val with_cost : cost -> t -> t
+
+val with_axiom2 : axiom2 -> t -> t
+
+val with_label : string -> t -> t
+
+val layer : t -> t -> t
+(** [layer a b] composes: crashes of both; [b]'s cost/axiom2 where they
+    are non-default, else [a]'s. *)
+
+val chaos : seed:int -> n:int -> max_after:int -> t
+(** A deterministic pseudo-random plan for an [n]-process subject:
+    one to [n/2] distinct victims with crash points in [0..max_after],
+    and a random cost model. Never weakens Axiom 2 — chaos plans are
+    used in positive campaigns, which must pass. *)
+
+val describe : t -> string
+(** Human-readable summary of the plan's faults (ignores the label). *)
+
+val pp : t Fmt.t
+val to_string : t -> string

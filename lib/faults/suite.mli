@@ -1,0 +1,48 @@
+(** The certification suite: the paper's core algorithms packaged as
+    {!Certify.subject}s, plus the standard fault campaigns run against
+    them.
+
+    Positive subjects (must certify clean under every plan the
+    campaigns generate):
+
+    - [fig3] — uniprocessor read/write consensus, Theorem 1 bound.
+    - [fig3_time] — the same algorithm in the Table 1 time model
+      ([tmax > tmin]), where [Slow]/[Jitter] cost plans squeeze the
+      quantum.
+    - [fig5] — the O(V) hybrid C&S object, Theorem 2 bound,
+      linearizability judged with crashed processes' operations pending.
+    - [fig7] — multiprocessor consensus from 2-consensus objects,
+      Theorem 4 bound.
+    - [universal] — a counter from the universal construction over
+      Fig. 3 cells.
+
+    The negative control [negative] is Fig. 3 driven by a hand-derived
+    two-process schedule that is only schedulable when Axiom 2 is
+    suspended; certifying it under {!negative_plan} must {e fail} (the
+    two processes decide different values), while the same subject under
+    {!Plan.none} passes. A certifier that accepts the suspended run is
+    broken — this is the suite's teeth. *)
+
+open Hwf_sim
+
+val fig3 : ?seed:int -> unit -> Certify.subject
+val fig3_time : ?seed:int -> unit -> Certify.subject
+val fig5 : ?seed:int -> unit -> Certify.subject
+val fig7 : ?seed:int -> unit -> Certify.subject
+val universal : ?seed:int -> unit -> Certify.subject
+
+val positive_subjects : ?seed:int -> unit -> Certify.subject list
+
+val negative : ?seed:int -> unit -> Certify.subject
+val negative_plan : Plan.t
+val attack_schedule : Proc.pid list
+(** The hand-derived disagreement schedule (0-based pids), exposed for
+    the tests that document it. *)
+
+val campaign : ?quick:bool -> ?seed:int -> Certify.subject -> Plan.t list
+(** The standard plan battery for a subject: the fault-free plan, the
+    exhaustive single-victim crash-point sweep (strided when [quick]),
+    two-victim crash pairs on a coarse grid (full mode only),
+    cost-model plans when the config has time spread ([tmax > tmin]),
+    and seeded chaos plans. Never weakens Axiom 2. Deterministic per
+    [seed]. *)

@@ -76,7 +76,7 @@ let of_trace trace =
         a.gap <- `None;
         a.open_ <- true
       | Trace.Inv_end { pid; _ } -> close pid true
-      | Trace.Note _ -> ()
+      | Trace.Note _ | Trace.Axiom2_gate _ -> ()
       | Trace.Stmt { pid; _ } ->
         if !last_pid >= 0 && !last_pid <> pid then incr switches;
         last_pid := pid;

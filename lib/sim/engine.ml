@@ -1,11 +1,12 @@
 open Effect.Deep
 
-type stop_reason = All_finished | Policy_stopped | Step_limit
+type stop_reason = All_finished | Policy_stopped | Step_limit | All_halted
 
 type result = {
   trace : Trace.t;
   finished : bool array;
   own_steps : int array;
+  halted : bool array;
   stop : stop_reason;
 }
 
@@ -29,8 +30,8 @@ type cell = {
   mutable guarantee : int;  (* remaining protected statements (Axiom 2) *)
 }
 
-let run ?(step_limit = 1_000_000) ?cost ~(config : Config.t) ~(policy : Policy.t)
-    programs =
+let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ~(config : Config.t)
+    ~(policy : Policy.t) programs =
   let n = Config.n config in
   if Array.length programs <> n then
     invalid_arg "Engine.run: program count <> process count";
@@ -135,8 +136,27 @@ let run ?(step_limit = 1_000_000) ?cost ~(config : Config.t) ~(policy : Policy.t
         | Ready _ | Boundary _ | Finished -> acc)
       0 cells
   in
+  (* Axiom 2 enforcement may be gated off by fault injection; gate flips
+     are recorded in the trace so the checker stays in sync. *)
+  let gate_active = ref true in
+  let sync_gate () =
+    match axiom2_active with
+    | None -> ()
+    | Some f ->
+      let now = f ~step:(Trace.statements trace) in
+      if now <> !gate_active then begin
+        gate_active := now;
+        (* Guarantees granted while enforcement was off were never
+           enforceable; carrying them into the restored regime could
+           leave every process guarded by another (no runnable pick).
+           Re-enforcement starts fresh: pending flags survive, so a
+           preempted process still earns protection at its next resume. *)
+        if now then Array.iter (fun c -> c.guarantee <- 0) cells;
+        Trace.add trace (Trace.Axiom2_gate { at = Trace.statements trace; active = now })
+      end
+  in
   let guarded_by_other c =
-    config.axiom2
+    config.axiom2 && !gate_active
     && Array.exists
          (fun q ->
            q != c
@@ -171,6 +191,14 @@ let run ?(step_limit = 1_000_000) ?cost ~(config : Config.t) ~(policy : Policy.t
   in
   let is_finished c = match c.state with Finished -> true | Ready _ | Boundary _ -> false in
   let all_finished () = Array.for_all is_finished cells in
+  (* A halted (fault-injected) process is withheld from the policy's
+     choices but still blocks per Axioms 1/2 — a crash is the scheduler
+     never allocating it another quantum, not the process vanishing. *)
+  let is_halted c =
+    match halted with
+    | None -> false
+    | Some pred -> (not (is_finished c)) && pred (pview c)
+  in
   let stop = ref All_finished in
   (try
      while not (all_finished ()) do
@@ -178,16 +206,24 @@ let run ?(step_limit = 1_000_000) ?cost ~(config : Config.t) ~(policy : Policy.t
          stop := Step_limit;
          raise Exit
        end;
+       sync_gate ();
        let runnable_pids =
          Array.to_list cells
          |> List.filter runnable
          |> List.map (fun c -> c.info.pid)
        in
        assert (runnable_pids <> []);
+       let schedulable =
+         List.filter (fun pid -> not (is_halted cells.(pid))) runnable_pids
+       in
+       if schedulable = [] then begin
+         stop := All_halted;
+         raise Exit
+       end;
        let view : Policy.view =
          {
            step = Trace.statements trace;
-           runnable = runnable_pids;
+           runnable = schedulable;
            procs = Array.map pview cells;
          }
        in
@@ -196,7 +232,7 @@ let run ?(step_limit = 1_000_000) ?cost ~(config : Config.t) ~(policy : Policy.t
          stop := Policy_stopped;
          raise Exit
        | Some pid ->
-         if not (List.mem pid runnable_pids) then
+         if not (List.mem pid schedulable) then
            Fmt.invalid_arg "Engine.run: policy %s chose non-runnable %a" policy.name
              Proc.pp_pid pid;
          let c = cells.(pid) in
@@ -240,5 +276,6 @@ let run ?(step_limit = 1_000_000) ?cost ~(config : Config.t) ~(policy : Policy.t
     trace;
     finished = Array.map is_finished cells;
     own_steps = Array.map (fun c -> c.own_steps) cells;
+    halted = Array.map is_halted cells;
     stop = !stop;
   }

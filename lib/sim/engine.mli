@@ -26,17 +26,26 @@ type stop_reason =
   | All_finished
   | Policy_stopped  (** The policy returned [None]. *)
   | Step_limit  (** The statement budget was exhausted. *)
+  | All_halted
+      (** Every legally runnable process was withheld by the [halted]
+          fault hook: only crashed processes (and processes they block)
+          remain — the fault-injection analogue of [Policy_stopped]. *)
 
 type result = {
   trace : Trace.t;
   finished : bool array;  (** Indexed by pid. *)
   own_steps : int array;  (** Statements executed, per pid. *)
+  halted : bool array;
+      (** Unfinished processes the [halted] hook withheld at the end of
+          the run (all [false] when the hook was not supplied). *)
   stop : stop_reason;
 }
 
 val run :
   ?step_limit:int ->
   ?cost:(Policy.view -> Proc.pid -> Op.t -> int) ->
+  ?halted:(Policy.pview -> bool) ->
+  ?axiom2_active:(step:int -> bool) ->
   config:Config.t ->
   policy:Policy.t ->
   (unit -> unit) array ->
@@ -51,6 +60,29 @@ val run :
     [Q] time units rather than [Q] statements, so an adversarial [cost]
     of [tmax] shrinks the number of protected statements — the Tmax/Tmin
     structure of Table 1.
+
+    [halted] is the fault-injection hook behind {!Hwf_faults.Inject}
+    (the paper's halting failures, Sec. 2): a process whose view
+    satisfies the predicate is withheld from the policy's choices while
+    still participating in the Axiom 1/2 blocking rules — a crash is the
+    scheduler never allocating the process another quantum, not the
+    process vanishing. When only halted processes remain runnable, the
+    run stops with [All_halted]. The predicate must be monotone in
+    [own_steps] for a given pid (crashed processes stay crashed) and
+    should leave processes holding an active quantum guarantee running
+    (see {!Hwf_adversary.Crash}); it is consulted afresh each scheduling
+    decision, so it must be stateless.
+
+    [axiom2_active] gates enforcement of the Axiom 2 quantum guarantee
+    per scheduling step (given the global statement count): while it
+    returns [false], same-level processes may run despite another's
+    active guarantee. Gate flips are recorded as {!Trace.Axiom2_gate}
+    events so {!Wellformed.check} judges the trace against the weakened
+    scheduler rather than reporting spurious quantum violations.
+    Bookkeeping (pending flags, guarantee draining) continues while the
+    gate is off. This models a scheduler that intermittently violates
+    Axiom 2 — the paper's Sec. 2 degradation, used as a fault plan and
+    as the negative control of the wait-freedom certifier.
 
     @raise Invalid_argument if the program count differs from the process
     count.

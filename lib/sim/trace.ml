@@ -4,6 +4,7 @@ type event =
   | Inv_end of { pid : Proc.pid; inv : int; label : string }
   | Note of { pid : Proc.pid; text : string }
   | Set_priority of { pid : Proc.pid; priority : int }
+  | Axiom2_gate of { at : int; active : bool }
 
 type t = { config : Config.t; events : event Vec.t; mutable stmts : int; mutable time : int }
 
@@ -43,6 +44,8 @@ let pp_event ppf = function
   | Note { pid; text } -> Fmt.pf ppf "      %a  -- %s" Proc.pp_pid pid text
   | Set_priority { pid; priority } ->
     Fmt.pf ppf "      %a  PRIORITY := %d" Proc.pp_pid pid priority
+  | Axiom2_gate { at; active } ->
+    Fmt.pf ppf "%4d  AXIOM 2 %s" at (if active then "RESUMED" else "SUSPENDED")
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@,") pp_event) (events t)

@@ -18,6 +18,12 @@ type event =
   | Set_priority of { pid : Proc.pid; priority : int }
       (** The process changed its own priority between invocations
           (Sec. 5: dynamic priorities). *)
+  | Axiom2_gate of { at : int; active : bool }
+      (** Fault injection toggled enforcement of the Axiom 2 quantum
+          guarantee at statement index [at] ({!Engine.run}'s
+          [axiom2_active] hook). Recorded so a trace remains
+          self-describing: {!Wellformed.check} suspends its quantum
+          checks while the gate is off. Absent in unfaulted runs. *)
 
 type t
 

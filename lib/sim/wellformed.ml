@@ -25,6 +25,12 @@ let check trace =
   let proc pid = config.procs.(pid) in
   (* Current priorities; updated by Set_priority events (Sec. 5). *)
   let priority = Array.map (fun (p : Proc.t) -> p.priority) config.procs in
+  (* Axiom 2 enforcement gate; toggled by fault-injected Axiom2_gate
+     events. While off, quantum violations are the injected fault, not an
+     engine bug. Guarantees granted inside an off-window are void at
+     re-enable (mirroring the engine); pending flags survive, so a
+     preempted process earns fresh protection at its next resume. *)
+  let gate = ref true in
   List.iter
     (fun ev ->
       match ev with
@@ -39,6 +45,9 @@ let check trace =
         s.pending <- false;
         s.guarantee <- 0
       | Trace.Note _ -> ()
+      | Trace.Axiom2_gate { active; _ } ->
+        gate := active;
+        if active then Array.iter (fun s -> s.guarantee <- 0) st
       | Trace.Set_priority { pid; priority = p } -> priority.(pid) <- p
       | Trace.Stmt { idx; pid; cost; _ } ->
         let p = proc pid in
@@ -55,7 +64,7 @@ let check trace =
         done;
         (* Axiom 2: no equal-priority process under an active quantum
            guarantee on the same processor. *)
-        if config.axiom2 then
+        if config.axiom2 && !gate then
           for q = 0 to n - 1 do
             let pq = proc q in
             if

@@ -77,6 +77,12 @@ type cas_op = Cas of int * int | Rd
 
 val pp_cas_op : cas_op Fmt.t
 
+val cas_spec : (cas_op, [ `Bool of bool | `Val of int ]) Hwf_check.Lincheck.spec
+(** The sequential C&S specification shared by the scenario verdicts.
+    Exported so fault-injection campaigns can re-check histories of
+    partially crashed runs with
+    {!Hwf_check.Lincheck.check_with_pending}. *)
+
 val random_script : seed:int -> n:int -> ops_per:int -> cas_op list list
 (** A deterministic mixed CAS/read workload, one op list per pid. *)
 

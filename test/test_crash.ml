@@ -139,6 +139,80 @@ let test_fig9_winner_crash_starves_losers () =
   Util.checkb "loser spins to the step limit" (r.stop = Engine.Step_limit);
   Util.checkb "loser unfinished" (not r.finished.(1))
 
+let test_crash_drains_guarantee_first () =
+  (* A victim whose crash point lands inside an active quantum guarantee
+     keeps running until the guarantee drains: protected windows belong
+     to the scheduler, and parking the process early would forge a
+     quantum violation. *)
+  let config = Util.uni_config ~quantum:4 [ 1; 1 ] in
+  let work k pid () =
+    Eff.invocation "work" (fun () ->
+        for _ = 1 to k do
+          Eff.local (Printf.sprintf "s%d" pid)
+        done)
+  in
+  let bodies = [| work 6 0; work 6 1 |] in
+  (* p1 runs 1 statement, p2 preempts, p1 resumes with a 4-statement
+     guarantee (own step 2); its crash point (after=2) is reached inside
+     the protected window, so it runs 3 more statements before parking. *)
+  let policy =
+    Crash.wrap ~victims:[ (0, 2) ] (Policy.scripted ~fallback:Policy.first [ 0; 1; 0 ])
+  in
+  let r = Engine.run ~step_limit:1_000 ~config ~policy bodies in
+  (match Wellformed.check r.trace with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "ill-formed: %a" Wellformed.pp_violation v);
+  Util.checki "victim drained its guarantee (1 + 4 statements)" 5 r.own_steps.(0);
+  Util.checkb "victim parked unfinished" (not r.finished.(0));
+  Util.checkb "survivor finished" r.finished.(1);
+  Util.checkb "then the run stops" (r.stop = Engine.Policy_stopped)
+
+let test_crash_at_invocation_boundary () =
+  (* A crash point equal to the victim's first-invocation length parks
+     it between invocations: the first invocation completes, the second
+     never begins, and the trace stays well-formed. *)
+  let config = Util.uni_config ~quantum:8 [ 1; 1 ] in
+  let two_invocations pid () =
+    for _ = 1 to 2 do
+      Eff.invocation "op" (fun () ->
+          for _ = 1 to 3 do
+            Eff.local (Printf.sprintf "s%d" pid)
+          done)
+    done
+  in
+  let bodies = [| two_invocations 0; two_invocations 1 |] in
+  let policy = Crash.wrap ~victims:[ (0, 3) ] (Policy.round_robin ()) in
+  let r = Engine.run ~step_limit:1_000 ~config ~policy bodies in
+  (match Wellformed.check r.trace with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "ill-formed: %a" Wellformed.pp_violation v);
+  Util.checki "victim stopped exactly at the boundary" 3 r.own_steps.(0);
+  Util.checkb "victim never started invocation 2" (not r.finished.(0));
+  Util.checkb "survivor finished" r.finished.(1);
+  let victim_invs =
+    List.filter
+      (function
+        | Hwf_sim.Trace.Inv_end { pid = 0; _ } -> true
+        | _ -> false)
+      (Trace.events r.trace)
+  in
+  Util.checki "victim's first invocation completed" 1 (List.length victim_invs)
+
+let test_all_victims_stops_run () =
+  (* Every process a victim with crash point 0: the policy has no legal
+     choice at the first decision and the run stops immediately. *)
+  let config = Util.uni_config ~quantum:8 [ 1; 1 ] in
+  let obj = Uni_consensus.make "c" in
+  let bodies =
+    Array.init 2 (fun pid () ->
+        Eff.invocation "d" (fun () -> ignore (Uni_consensus.decide obj (100 + pid))))
+  in
+  let policy = Crash.wrap ~victims:[ (0, 0); (1, 0) ] (Policy.round_robin ()) in
+  let r = Engine.run ~step_limit:1_000 ~config ~policy bodies in
+  Util.checkb "stops via Policy_stopped" (r.stop = Engine.Policy_stopped);
+  Util.checki "no statement executed" 0 (Trace.statements r.trace);
+  Util.checkb "nobody finished" (not (Array.exists Fun.id r.finished))
+
 let test_crash_wrapper_is_conservative () =
   (* With no victims the wrapper is the underlying policy. *)
   let config = Util.uni_config ~quantum:8 [ 1; 1 ] in
@@ -167,5 +241,10 @@ let () =
           Alcotest.test_case "fig9 winner crash starves losers" `Quick
             test_fig9_winner_crash_starves_losers;
           Alcotest.test_case "no victims = no-op" `Quick test_crash_wrapper_is_conservative;
+          Alcotest.test_case "crash drains guarantee first" `Quick
+            test_crash_drains_guarantee_first;
+          Alcotest.test_case "crash at invocation boundary" `Quick
+            test_crash_at_invocation_boundary;
+          Alcotest.test_case "all victims stop the run" `Quick test_all_victims_stops_run;
         ] );
     ]

@@ -118,6 +118,54 @@ let test_hist_recorder () =
   | [ { pid = 0; op = `Op; result = 42; t0 = 0; t1 = 2 } ] -> ()
   | _ -> Alcotest.fail "unexpected history"
 
+let test_pending_ops () =
+  (* A crashed writer's Set may or may not have taken effect. *)
+  let pend = [ (0, `Set 9, 0) ] in
+  ok "pending set took effect"
+    (Lincheck.check_with_pending reg_spec [ e 1 `Get 9 5 6 ] ~pending:pend);
+  ok "pending set did not take effect"
+    (Lincheck.check_with_pending reg_spec [ e 1 `Get 0 5 6 ] ~pending:pend);
+  (* One pending write cannot explain a value flipping back. *)
+  bad "cannot flip back"
+    (Lincheck.check_with_pending reg_spec
+       [ e 1 `Get 9 5 6; e 1 `Get 0 7 8 ]
+       ~pending:pend);
+  ok "0 then 9 is one linearization"
+    (Lincheck.check_with_pending reg_spec
+       [ e 1 `Get 0 5 6; e 1 `Get 9 7 8 ]
+       ~pending:pend);
+  (* Real time still binds: a pending op cannot take effect before an
+     operation that completed before its t0. *)
+  bad "pending cannot linearize before its start"
+    (Lincheck.check_with_pending reg_spec [ e 1 `Get 9 0 1 ] ~pending:[ (0, `Set 9, 5) ]);
+  (* With no pending ops it degenerates to check. *)
+  ok "no pending = check"
+    (Lincheck.check_with_pending reg_spec [ e 0 (`Set 5) 0 0 2; e 1 `Get 5 3 4 ] ~pending:[])
+
+let test_hist_pending_recording () =
+  (* A process halted mid-operation leaves the op in Hist.pending. *)
+  let open Hwf_sim in
+  let config = Util.uni_config ~quantum:10 [ 1; 1 ] in
+  let h = Hist.create () in
+  let bodies =
+    Array.init 2 (fun pid () ->
+        Eff.invocation "op" (fun () ->
+            ignore
+              (Hist.wrap h ~pid (`Set pid) (fun () ->
+                   Eff.local "a";
+                   Eff.local "b";
+                   0))))
+  in
+  let halted (pv : Policy.pview) = pv.pid = 1 && pv.own_steps >= 1 in
+  let r = Engine.run ~halted ~config ~policy:(Policy.round_robin ()) bodies in
+  Util.checkb "p2 halted" r.halted.(1);
+  (match Hist.entries h with
+  | [ { pid = 0; op = `Set 0; _ } ] -> ()
+  | _ -> Alcotest.fail "expected exactly p1's completed op");
+  match Hist.pending h with
+  | [ (1, `Set 1, _) ] -> ()
+  | _ -> Alcotest.fail "expected p2's op pending"
+
 (* Property: any genuinely sequential history replayed through its own
    spec is accepted. *)
 let prop_sequential_always_ok =
@@ -155,6 +203,8 @@ let () =
           Alcotest.test_case "too long" `Quick test_too_long;
           Alcotest.test_case "SC strictly weaker" `Quick test_sequential_consistency_weaker;
           Alcotest.test_case "hist recorder" `Quick test_hist_recorder;
+          Alcotest.test_case "pending ops" `Quick test_pending_ops;
+          Alcotest.test_case "hist pending recording" `Quick test_hist_pending_recording;
         ] );
       ("props", [ prop_sequential_always_ok ]);
     ]

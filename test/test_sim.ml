@@ -306,6 +306,76 @@ let test_multiprocessor_independence () =
   let order = List.rev_map fst !log in
   Alcotest.(check (list int)) "free interleaving" [ 0; 1; 0; 1; 0; 1 ] order
 
+let test_halted_hook () =
+  (* The halted hook withholds a process from the policy but keeps it in
+     the machine; when only halted processes remain, the run stops with
+     All_halted and result.halted marks them. *)
+  let config = Util.uni_config ~quantum:8 [ 1; 1 ] in
+  let log = ref [] in
+  let bodies = [| logger_body log 0 3; logger_body log 1 3 |] in
+  let halted (pv : Policy.pview) = pv.pid = 1 && pv.own_steps >= 2 in
+  let r = Engine.run ~halted ~config ~policy:(Policy.round_robin ()) bodies in
+  Util.checkb "p1 finished" r.finished.(0);
+  Util.checkb "p2 unfinished" (not r.finished.(1));
+  Util.checkb "p2 halted" r.halted.(1);
+  Util.checkb "p1 not halted" (not r.halted.(0));
+  Util.checkb "stops with All_halted" (r.stop = Engine.All_halted);
+  Util.checki "p2 executed exactly 2 own statements" 2 r.own_steps.(1);
+  Util.checkb "well-formed" (Wellformed.is_well_formed r.trace)
+
+let test_halted_none_marked_without_hook () =
+  let config = Util.uni_config ~quantum:8 [ 1; 1 ] in
+  let log = ref [] in
+  let bodies = [| logger_body log 0 2; logger_body log 1 2 |] in
+  let r = Engine.run ~config ~policy:(Policy.round_robin ()) bodies in
+  Util.checkb "no halted marks" (not (Array.exists Fun.id r.halted))
+
+let test_axiom2_gate_hook () =
+  (* With the gate off, same-priority processes may interleave inside
+     what would be a protected quantum window; the gate flips are in the
+     trace and Wellformed accepts the weakened run. *)
+  let config = Util.uni_config ~quantum:4 [ 1; 1 ] in
+  let log = ref [] in
+  let bodies = [| logger_body log 0 4; logger_body log 1 4 |] in
+  (* Ping-pong: illegal under an enforced Axiom 2 for Q=4 (after p1 is
+     preempted once it must get 4 protected statements on resume). *)
+  let policy = Policy.scripted ~fallback:Policy.first [ 0; 1; 0; 1; 0; 1; 0; 1 ] in
+  let r = Engine.run ~axiom2_active:(fun ~step:_ -> false) ~config ~policy bodies in
+  Util.checkb "finished" (Array.for_all Fun.id r.finished);
+  let order = List.rev_map fst !log in
+  Alcotest.(check (list int)) "ping-pong happened" [ 0; 1; 0; 1; 0; 1; 0; 1 ] order;
+  Util.checkb "gate event recorded"
+    (List.exists
+       (function Trace.Axiom2_gate { active = false; _ } -> true | _ -> false)
+       (Trace.events r.trace));
+  Util.checkb "weakened trace judged well-formed" (Wellformed.is_well_formed r.trace);
+  (* Sanity: the same script under an enforced gate cannot ping-pong —
+     the scripted entries are illegal and the fallback serializes. *)
+  let log2 = ref [] in
+  let bodies2 = [| logger_body log2 0 4; logger_body log2 1 4 |] in
+  let r2 = Engine.run ~config ~policy:(Policy.scripted ~fallback:Policy.first [ 0; 1; 0; 1; 0; 1; 0; 1 ]) bodies2 in
+  Util.checkb "enforced run well-formed" (Wellformed.is_well_formed r2.trace);
+  Util.checkb "no ping-pong under enforcement"
+    (List.rev_map fst !log2 <> [ 0; 1; 0; 1; 0; 1; 0; 1 ])
+
+let test_axiom2_gate_windows () =
+  (* A gate that is off only in a window: flips are recorded in pairs
+     and the run stays judgeable. *)
+  let config = Util.uni_config ~quantum:4 [ 1; 1 ] in
+  let log = ref [] in
+  let bodies = [| logger_body log 0 6; logger_body log 1 6 |] in
+  let gate ~step = step < 2 || step >= 8 in
+  let r =
+    Engine.run ~axiom2_active:gate ~config ~policy:(Policy.random ~seed:3) bodies
+  in
+  let flips =
+    List.filter_map
+      (function Trace.Axiom2_gate { active; _ } -> Some active | _ -> None)
+      (Trace.events r.trace)
+  in
+  Util.checkb "gate off then on" (flips = [ false; true ]);
+  Util.checkb "well-formed" (Wellformed.is_well_formed r.trace)
+
 (* Property: every engine run under a random policy and a random layout
    yields a well-formed trace. *)
 let prop_engine_always_well_formed =
@@ -360,6 +430,11 @@ let () =
             test_nested_invocation_rejected;
           Alcotest.test_case "exceptions propagate" `Quick test_exceptions_propagate;
           Alcotest.test_case "empty invocation" `Quick test_empty_invocation;
+          Alcotest.test_case "halted hook" `Quick test_halted_hook;
+          Alcotest.test_case "no hook, no halted marks" `Quick
+            test_halted_none_marked_without_hook;
+          Alcotest.test_case "axiom2 gate off" `Quick test_axiom2_gate_hook;
+          Alcotest.test_case "axiom2 gate windows" `Quick test_axiom2_gate_windows;
         ] );
       ( "wellformed",
         [
