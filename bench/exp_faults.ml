@@ -32,7 +32,7 @@ let report_row report verdict =
 
 let certify_row ?(quick = false) subject =
   let plans = Suite.campaign ~quick ~seed subject in
-  let report = Certify.certify subject plans in
+  let report = Certify.certify ~jobs:!Jobs.n subject plans in
   let verdict =
     if Certify.certified report then "CERTIFIED"
     else Printf.sprintf "FAILED (%d)" (List.length report.Certify.failures)

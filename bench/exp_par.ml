@@ -1,0 +1,150 @@
+(* E17 — the domain-parallel speedup campaign.
+
+   The three hot paths that lib/par parallelizes — schedule exploration
+   (Explore.explore subtree fan-out), fault-plan certification
+   (Certify.certify cell distribution), and random volume testing — are
+   each run twice on identical inputs: once at --jobs 1 and once at the
+   campaign's worker count. Per cell we record wall-clock, work units
+   per second, the speedup, and whether the two outcomes were identical
+   (they must be: the determinism contract of docs/PARALLELISM.md is
+   checked here on every bench run, not just in the test suite).
+
+   Results go to stdout as a table and to BENCH_par.json as a
+   machine-readable record {jobs, cores, cells[], overall_speedup} for
+   the speedup tables in the docs and for CI trending. On a single-core
+   container the speedup hovers around 1.0x (the contract check still
+   bites); on a >= 4-core machine the E16-style certification sweep is
+   expected to clear 2x. *)
+
+open Hwf_adversary
+open Hwf_workload
+open Hwf_faults
+
+type cell = {
+  name : string;
+  units : int;  (* engine runs / plan cells completed *)
+  seq_s : float;
+  par_s : float;
+  identical : bool;
+}
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let speedup c = if c.par_s > 0. then c.seq_s /. c.par_s else 1.
+
+let explore_cell ~jobs ~name scenario =
+  let o1, seq_s = wall (fun () -> Explore.explore ~jobs:1 scenario) in
+  let o2, par_s = wall (fun () -> Explore.explore ~jobs scenario) in
+  let identical =
+    o1.Explore.runs = o2.Explore.runs
+    && o1.Explore.exhaustive = o2.Explore.exhaustive
+    && (match (o1.Explore.counterexample, o2.Explore.counterexample) with
+       | None, None -> true
+       | Some c1, Some c2 ->
+         c1.Explore.message = c2.Explore.message
+         && c1.Explore.decisions = c2.Explore.decisions
+       | _ -> false)
+  in
+  { name; units = o1.Explore.runs; seq_s; par_s; identical }
+
+let certify_cell ~jobs ~quick ~seed ~name make_subject =
+  let subject = make_subject ?seed:(Some seed) () in
+  let plans = Suite.campaign ~quick ~seed subject in
+  let r1, seq_s = wall (fun () -> Certify.certify ~jobs:1 subject plans) in
+  let r2, par_s = wall (fun () -> Certify.certify ~jobs subject plans) in
+  let failure_key (f : Certify.failure) = (f.message, f.schedule, f.shrunk_from) in
+  let identical =
+    r1.Certify.passed = r2.Certify.passed
+    && r1.Certify.blocked = r2.Certify.blocked
+    && r1.Certify.worst_own_steps = r2.Certify.worst_own_steps
+    && List.map failure_key r1.Certify.failures
+       = List.map failure_key r2.Certify.failures
+  in
+  { name; units = List.length plans; seq_s; par_s; identical }
+
+let random_cell ~jobs ~name ~runs ~seed scenario =
+  let o1, seq_s = wall (fun () -> Explore.random_runs ~runs ~jobs:1 ~seed scenario) in
+  let o2, par_s = wall (fun () -> Explore.random_runs ~runs ~jobs ~seed scenario) in
+  { name; units = runs; seq_s; par_s; identical = o1.Explore.runs = o2.Explore.runs }
+
+let json_of_cells ~jobs cells =
+  let b = Buffer.create 1024 in
+  let total_seq = List.fold_left (fun a c -> a +. c.seq_s) 0. cells in
+  let total_par = List.fold_left (fun a c -> a +. c.par_s) 0. cells in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"jobs\": %d,\n" jobs;
+  Printf.bprintf b "  \"recommended_domains\": %d,\n" (Hwf_par.Pool.default_jobs ());
+  Buffer.add_string b "  \"cells\": [\n";
+  List.iteri
+    (fun i c ->
+      Printf.bprintf b
+        "    {\"name\": %S, \"units\": %d, \"seq_seconds\": %.6f, \"par_seconds\": \
+         %.6f, \"seq_units_per_sec\": %.1f, \"par_units_per_sec\": %.1f, \
+         \"speedup\": %.3f, \"identical\": %b}%s\n"
+        c.name c.units c.seq_s c.par_s
+        (if c.seq_s > 0. then float_of_int c.units /. c.seq_s else 0.)
+        (if c.par_s > 0. then float_of_int c.units /. c.par_s else 0.)
+        (speedup c) c.identical
+        (if i = List.length cells - 1 then "" else ","))
+    cells;
+  Buffer.add_string b "  ],\n";
+  Printf.bprintf b "  \"total_seq_seconds\": %.6f,\n" total_seq;
+  Printf.bprintf b "  \"total_par_seconds\": %.6f,\n" total_par;
+  Printf.bprintf b "  \"overall_speedup\": %.3f\n"
+    (if total_par > 0. then total_seq /. total_par else 1.);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let run ~quick =
+  let jobs = max 1 !Jobs.n in
+  Tbl.section
+    (Printf.sprintf "E17: domain-parallel speedup campaign (jobs=%d)" jobs);
+  let seed = 41 in
+  let fig3_scn pris quantum =
+    (Scenarios.consensus ~name:"e17.f3" ~impl:Scenarios.Fig3 ~quantum
+       ~layout:(List.map (fun p -> (0, p)) pris))
+      .Scenarios.scenario
+  in
+  let cells =
+    [
+      explore_cell ~jobs ~name:"explore fig3 Q=8 3p" (fig3_scn [ 1; 1; 1 ] 8);
+      random_cell ~jobs ~name:"random fig3 Q=8 3p"
+        ~runs:(if quick then 400 else 2_000)
+        ~seed (fig3_scn [ 1; 1; 1 ] 8);
+      certify_cell ~jobs ~quick ~seed ~name:"certify fig3 (E16 sweep)" Suite.fig3;
+      certify_cell ~jobs ~quick ~seed ~name:"certify fig5 (E16 sweep)" Suite.fig5;
+      certify_cell ~jobs ~quick ~seed ~name:"certify universal (E16 sweep)"
+        Suite.universal;
+    ]
+  in
+  Tbl.print
+    ~title:
+      (Printf.sprintf "jobs=1 vs jobs=%d on identical inputs (seed %d%s)" jobs seed
+         (if quick then ", quick" else ""))
+    ~header:[ "cell"; "units"; "seq s"; "par s"; "speedup"; "identical" ]
+    (List.map
+       (fun c ->
+         [
+           c.name;
+           string_of_int c.units;
+           Printf.sprintf "%.3f" c.seq_s;
+           Printf.sprintf "%.3f" c.par_s;
+           Printf.sprintf "%.2fx" (speedup c);
+           string_of_bool c.identical;
+         ])
+       cells);
+  let path = "BENCH_par.json" in
+  let oc = open_out path in
+  output_string oc (json_of_cells ~jobs cells);
+  close_out oc;
+  Tbl.note
+    "wrote %s; speedup scales with cores (expect >= 2x on >= 4 cores for\n\
+     the certification sweeps; ~1x is normal on a single-core container).\n\
+     'identical' re-checks the determinism contract of docs/PARALLELISM.md\n\
+     on every bench run."
+    path;
+  if List.exists (fun c -> not c.identical) cells then
+    failwith "E17: a parallel outcome diverged from the sequential one"

@@ -1,0 +1,4 @@
+(* Worker-domain count for the parallelizable experiments (E16's
+   certifier cells, E17's speedup campaign), set by bench/main.ml's
+   --jobs flag. 1 = fully sequential, the historical behaviour. *)
+let n = ref 1

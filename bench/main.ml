@@ -31,6 +31,7 @@ let experiments : (string * string * (quick:bool -> unit)) list =
     ("time", "E14: the time model (Tmax/Tmin of Table 1)", Exp_time.run);
     ("crash", "E15: halting failures / wait-freedom", Exp_crash.run);
     ("faults", "E16: fault-injection campaigns / wait-freedom certifier", Exp_faults.run);
+    ("par", "E17: domain-parallel speedup campaign (BENCH_par.json)", Exp_par.run);
   ]
 
 (* Bechamel micro-benchmarks: wall-clock cost of simulated operations. *)
@@ -99,16 +100,30 @@ let timing () =
       Microbench.staged "universal-counter-3p" universal_counter;
     ]
 
+(* Pull "--jobs N" out of the argument list (the remaining args keep
+   their simple flag/experiment-name shape). *)
+let rec extract_jobs = function
+  | [] -> ([], None)
+  | "--jobs" :: n :: rest ->
+    let args, _ = extract_jobs rest in
+    (args, int_of_string_opt n)
+  | a :: rest ->
+    let args, j = extract_jobs rest in
+    (a :: args, j)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let args, jobs = extract_jobs args in
+  Jobs.n := (match jobs with Some j when j >= 1 -> j | _ -> 1);
   let full = List.mem "--full" args in
   Tbl.csv_mode := List.mem "--csv" args;
   let quick = not full in
   let selected = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
   let want name = selected = [] || List.mem name selected in
   Printf.printf
-    "hybridwf experiment harness (%s mode)\nPaper: Anderson & Moir, PODC 1999\n"
-    (if quick then "quick" else "full");
+    "hybridwf experiment harness (%s mode, jobs=%d)\nPaper: Anderson & Moir, PODC 1999\n"
+    (if quick then "quick" else "full")
+    !Jobs.n;
   List.iter
     (fun (name, _desc, run) -> if want name && name <> "timing" then run ~quick)
     experiments;

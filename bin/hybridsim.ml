@@ -52,6 +52,17 @@ let seed_arg =
   let doc = "PRNG seed for randomized schedulers." in
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel search paths (explore subtrees, \
+     fault-plan cells). Results are identical to --jobs 1; the default is the \
+     machine's recommended domain count."
+  in
+  Arg.(
+    value
+    & opt int (Hwf_par.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let policy_arg =
   let doc = "Scheduling policy: random, rr (round-robin), first, stagger." in
   Arg.(
@@ -146,10 +157,10 @@ let explore_cmd =
     let doc = "Write the (possibly shrunk) counterexample schedule to this file." in
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
   in
-  let action impl cnum quantum layout pb max_runs do_shrink save =
+  let action impl cnum quantum layout pb max_runs do_shrink save jobs =
     let b = scenario_of impl cnum quantum layout in
     let o =
-      Explore.explore ?preemption_bound:pb ~max_runs ~step_limit:8_000_000
+      Explore.explore ?preemption_bound:pb ~max_runs ~step_limit:8_000_000 ~jobs
         b.Scenarios.scenario
     in
     Fmt.pr "%a@." Explore.pp_outcome o;
@@ -178,11 +189,13 @@ let explore_cmd =
   let term =
     Term.(
       const action $ impl_arg $ cnum_arg $ quantum_arg $ layout_arg $ pb_arg
-      $ max_runs_arg $ shrink_arg $ save_arg)
+      $ max_runs_arg $ shrink_arg $ save_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "explore"
-       ~doc:"Model-check a consensus scenario over scheduler decisions.")
+       ~doc:
+         "Model-check a consensus scenario over scheduler decisions \
+          (domain-parallel with --jobs).")
     term
 
 (* ---- replay: re-judge a saved schedule ---- *)
@@ -277,16 +290,18 @@ let cas_cmd =
   let runs_arg =
     Arg.(value & opt int 100 & info [ "runs" ] ~docv:"N" ~doc:"Random schedules to test.")
   in
-  let action quantum layout seed ops runs =
+  let action quantum layout seed ops runs jobs =
     let n = List.length layout in
     let script = Scenarios.random_script ~seed ~n ~ops_per:ops in
     let s = Scenarios.hybrid_cas ~name:"cli" ~quantum ~layout ~script in
-    let o = Explore.random_runs ~runs ~step_limit:2_000_000 ~seed s in
+    let o = Explore.random_runs ~runs ~step_limit:2_000_000 ~jobs ~seed s in
     Fmt.pr "%a@." Explore.pp_outcome o;
     if o.counterexample <> None then exit 1
   in
   let term =
-    Term.(const action $ quantum_arg $ layout_arg $ seed_arg $ ops_arg $ runs_arg)
+    Term.(
+      const action $ quantum_arg $ layout_arg $ seed_arg $ ops_arg $ runs_arg
+      $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "cas"
@@ -401,7 +416,7 @@ let faults_cmd =
     in
     Arg.(value & flag & info [ "negative" ] ~doc)
   in
-  let action chosen seed full negative =
+  let action chosen seed full negative jobs =
     let chosen =
       if chosen = [] then subjects
       else List.filter (fun (n, _) -> List.mem n chosen) subjects
@@ -412,7 +427,7 @@ let faults_cmd =
       (fun (_, make_subject) ->
         let subject = make_subject ?seed:(Some seed) () in
         let plans = Suite.campaign ~quick:(not full) ~seed subject in
-        let report = Certify.certify subject plans in
+        let report = Certify.certify ~jobs subject plans in
         if not (Certify.certified report) then begin
           all_ok := false;
           failures := report :: !failures
@@ -463,12 +478,16 @@ let faults_cmd =
     List.iter (fun r -> Fmt.pr "@.%a@." Certify.pp_report r) (List.rev !failures);
     if not !all_ok then exit 1
   in
-  let term = Term.(const action $ subject_arg $ seed_arg $ full_arg $ negative_arg) in
+  let term =
+    Term.(
+      const action $ subject_arg $ seed_arg $ full_arg $ negative_arg $ jobs_arg)
+  in
   Cmd.v
     (Cmd.info "faults"
        ~doc:
          "Certify wait-freedom of the core algorithms under fault-plan sweeps \
-          (crash points, adversarial costs, chaos), printing a report table.")
+          (crash points, adversarial costs, chaos), printing a report table \
+          (domain-parallel with --jobs).")
     term
 
 (* ---- trace: Fig. 1/2 demo ---- *)

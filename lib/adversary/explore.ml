@@ -93,15 +93,41 @@ let backtrack slots =
     prefix.(i) <- (Vec.get slots i).choice + 1;
     Some prefix
 
-let explore ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
-    ?(step_limit = 100_000) ?(on_step_limit = `Fail) scenario =
+(* ---- parallel fan-out (see docs/PARALLELISM.md) ----
+
+   [explore ~jobs] splits the decision tree at depth 0: each top-level
+   candidate index roots an independent subtree, and the sequential DFS
+   runs unchanged inside each one (backtracking is forbidden from
+   crossing slot 0). Because the sequential DFS visits subtree 0 in
+   full, then subtree 1, ... — [backtrack] increments slot 0 only when
+   no deeper slot has unexplored siblings — concatenating the per-subtree
+   results in index order reproduces the sequential run order exactly,
+   which is what makes the merged outcome bit-identical to [~jobs:1]
+   whenever the search completes within [max_runs]. *)
+
+(* Outcome of one subtree's DFS. [sruns] counts runs actually performed
+   in the subtree; on a counterexample the DFS stops, so [sruns] is also
+   the canonical "runs until failure" of that subtree. *)
+type subtree = { sruns : int; sexhaustive : bool; scx : counterexample option }
+
+(* DFS from [start], restricted to the top-level branch [root] (when
+   given): a backtrack prefix whose slot 0 differs means the subtree is
+   exhausted. [claim] is the global max_runs budget — one claim per run,
+   so the total number of engine runs across all domains never exceeds
+   [max_runs]. [aborted] lets a worker retire once a lower-indexed
+   subtree (earlier in canonical order) has found a counterexample. *)
+let subtree_dfs ~claim ~aborted ~preemption_bound ~max_depth ~step_limit
+    ~on_step_limit ~root scenario start =
   let runs = ref 0 in
   let exhaustive = ref true in
+  let in_subtree prefix =
+    match root with
+    | None -> true
+    | Some i -> Array.length prefix > 0 && prefix.(0) = i
+  in
   let rec loop prefix =
-    if !runs >= max_runs then begin
-      exhaustive := false;
-      { runs = !runs; exhaustive = false; counterexample = None }
-    end
+    if aborted () || not (claim ()) then
+      { sruns = !runs; sexhaustive = false; scx = None }
     else begin
       incr runs;
       let instance = scenario.make () in
@@ -114,17 +140,119 @@ let explore ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
       | Error message ->
         let decisions = List.map (fun s -> s.pid) (Vec.to_list slots) in
         {
-          runs = !runs;
-          exhaustive = false;
-          counterexample = Some { message; trace = result.trace; decisions };
+          sruns = !runs;
+          sexhaustive = false;
+          scx = Some { message; trace = result.trace; decisions };
         }
       | Ok () -> (
         match backtrack slots with
-        | None -> { runs = !runs; exhaustive = !exhaustive; counterexample = None }
-        | Some prefix -> loop prefix)
+        | Some prefix when in_subtree prefix -> loop prefix
+        | Some _ | None -> { sruns = !runs; sexhaustive = !exhaustive; scx = None })
     end
   in
-  loop [||]
+  loop start
+
+let rec atomic_min a v =
+  let cur = Atomic.get a in
+  if v < cur && not (Atomic.compare_and_set a cur v) then atomic_min a v
+
+let outcome_of st =
+  { runs = st.sruns; exhaustive = st.sexhaustive; counterexample = st.scx }
+
+let explore ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
+    ?(step_limit = 100_000) ?(on_step_limit = `Fail) ?(jobs = 1) scenario =
+  let claimed = Atomic.make 0 in
+  let claim () =
+    Atomic.get claimed < max_runs && Atomic.fetch_and_add claimed 1 < max_runs
+  in
+  let dfs = subtree_dfs ~preemption_bound ~max_depth ~step_limit ~on_step_limit in
+  let never_aborted () = false in
+  if jobs <= 1 then
+    outcome_of (dfs ~claim ~aborted:never_aborted ~root:None scenario [||])
+  else if not (claim ()) then { runs = 0; exhaustive = false; counterexample = None }
+  else begin
+    (* Probe: canonical run #1 (the all-zeros schedule, i.e. the first
+       run of subtree 0), which also reveals the top-level width. *)
+    let instance = scenario.make () in
+    let result, slots, probe_truncated =
+      run_one ~preemption_bound ~max_depth ~step_limit ~config:scenario.config
+        instance [||]
+    in
+    match verdict ~on_step_limit instance result with
+    | Error message ->
+      let decisions = List.map (fun s -> s.pid) (Vec.to_list slots) in
+      {
+        runs = 1;
+        exhaustive = false;
+        counterexample = Some { message; trace = result.trace; decisions };
+      }
+    | Ok () -> (
+      let width = if Vec.length slots = 0 then 0 else (Vec.get slots 0).candidates in
+      let continuation = backtrack slots in
+      if width <= 1 then
+        (* No depth-0 branching to fan out; finish sequentially. *)
+        match continuation with
+        | None -> { runs = 1; exhaustive = not probe_truncated; counterexample = None }
+        | Some prefix ->
+          let st = dfs ~claim ~aborted:never_aborted ~root:None scenario prefix in
+          outcome_of
+            {
+              st with
+              sruns = st.sruns + 1;
+              sexhaustive = st.sexhaustive && not probe_truncated;
+            }
+      else begin
+        (* Lowest subtree index with a counterexample so far: workers on
+           canonically-later subtrees retire early (their results are
+           discarded by the merge anyway, exactly as the sequential DFS
+           never reaches them). *)
+        let best = Atomic.make max_int in
+        let run_subtree i =
+          let aborted () = Atomic.get best < i in
+          let st =
+            if i = 0 then
+              (* The probe was subtree 0's first run; continue after it. *)
+              match continuation with
+              | Some p when p.(0) = 0 ->
+                let st = dfs ~claim ~aborted ~root:(Some 0) scenario p in
+                {
+                  st with
+                  sruns = st.sruns + 1;
+                  sexhaustive = st.sexhaustive && not probe_truncated;
+                }
+              | Some _ | None ->
+                { sruns = 1; sexhaustive = not probe_truncated; scx = None }
+            else dfs ~claim ~aborted ~root:(Some i) scenario [| i |]
+          in
+          (match st.scx with Some _ -> atomic_min best i | None -> ());
+          st
+        in
+        let results =
+          Hwf_par.Pool.map ~jobs ~batch:1 run_subtree (Array.init width Fun.id)
+        in
+        (* Canonical merge: walk subtrees in index order — the order the
+           sequential DFS visits them — summing run counts until the
+           first counterexample; later subtrees' work is discarded. *)
+        let total = ref 0 and exhaustive = ref true and cx = ref None in
+        (try
+           Array.iter
+             (fun st ->
+               total := !total + st.sruns;
+               if not st.sexhaustive then exhaustive := false;
+               match st.scx with
+               | Some c ->
+                 cx := Some c;
+                 raise Exit
+               | None -> ())
+             results
+         with Exit -> ());
+        {
+          runs = !total;
+          exhaustive = !exhaustive && !cx = None;
+          counterexample = !cx;
+        }
+      end)
+  end
 
 let iter_schedules ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
     ?(step_limit = 100_000) scenario ~f =
@@ -148,26 +276,54 @@ let iter_schedules ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
   !runs
 
 let random_runs ?(runs = 1_000) ?(step_limit = 100_000) ?(on_step_limit = `Fail)
-    ~seed scenario =
-  let rec loop i =
-    if i >= runs then { runs = i; exhaustive = false; counterexample = None }
-    else begin
-      let instance = scenario.make () in
-      let policy = Policy.random ~seed:(seed + i) in
-      let result =
-        Engine.run ~step_limit ~config:scenario.config ~policy instance.programs
-      in
-      match verdict ~on_step_limit instance result with
-      | Error message ->
-        {
-          runs = i + 1;
-          exhaustive = false;
-          counterexample = Some { message; trace = result.trace; decisions = [] };
-        }
-      | Ok () -> loop (i + 1)
-    end
+    ?(jobs = 1) ~seed scenario =
+  (* Run [i] is fully determined by [seed + i], so the cells are
+     independent and the parallel merge is by index: the reported
+     counterexample is the lowest-index failure, exactly the one the
+     sequential loop stops at. *)
+  let one i =
+    let instance = scenario.make () in
+    let policy = Policy.random ~seed:(seed + i) in
+    let result =
+      Engine.run ~step_limit ~config:scenario.config ~policy instance.programs
+    in
+    match verdict ~on_step_limit instance result with
+    | Error message ->
+      Some { message; trace = result.trace; decisions = [] }
+    | Ok () -> None
   in
-  loop 0
+  if jobs <= 1 then begin
+    let rec loop i =
+      if i >= runs then { runs = i; exhaustive = false; counterexample = None }
+      else
+        match one i with
+        | Some cx -> { runs = i + 1; exhaustive = false; counterexample = Some cx }
+        | None -> loop (i + 1)
+    in
+    loop 0
+  end
+  else begin
+    let best = Atomic.make max_int in
+    let cell i =
+      (* Cells canonically after a known failure are skipped; cells
+         before it still run, so the minimum failing index is exact. *)
+      if Atomic.get best < i then None
+      else
+        match one i with
+        | Some cx ->
+          atomic_min best i;
+          Some cx
+        | None -> None
+    in
+    let results = Hwf_par.Pool.map ~jobs cell (Array.init runs Fun.id) in
+    let hit = ref None in
+    Array.iteri
+      (fun i r -> if !hit = None && r <> None then hit := Some (i, Option.get r))
+      results;
+    match !hit with
+    | Some (i, cx) -> { runs = i + 1; exhaustive = false; counterexample = Some cx }
+    | None -> { runs; exhaustive = false; counterexample = None }
+  end
 
 let pp_outcome ppf o =
   match o.counterexample with

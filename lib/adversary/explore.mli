@@ -56,6 +56,7 @@ val explore :
   ?max_depth:int ->
   ?step_limit:int ->
   ?on_step_limit:[ `Fail | `Ignore ] ->
+  ?jobs:int ->
   scenario ->
   outcome
 (** DFS over schedules. [preemption_bound] (default unlimited) caps paid
@@ -63,7 +64,22 @@ val explore :
     [max_depth] (default 10_000 decisions) bound the search; runs hitting
     [step_limit] (default 100_000 statements) are treated per
     [on_step_limit] (default [`Fail] — suitable for wait-free algorithms,
-    which must terminate under every schedule). *)
+    which must terminate under every schedule).
+
+    [jobs] (default 1) fans the search out over that many domains: each
+    top-level scheduler candidate roots an independent subtree explored
+    by the unchanged sequential DFS, and the per-subtree results are
+    merged in canonical (sequential DFS) order. Whenever the search
+    completes within [max_runs] the outcome — run count, exhaustiveness,
+    and the first counterexample with its decision path — is identical
+    to [~jobs:1]; [scenario.make] must therefore be domain-safe (fresh
+    state per call, which well-behaved scenarios already guarantee — see
+    [docs/PARALLELISM.md]). The [max_runs] budget is claimed from one
+    global atomic counter, one claim per engine run, so the total number
+    of runs across all domains never exceeds [max_runs]; if the budget
+    truncates the parallel search, the outcome reports
+    [exhaustive = false] just as the sequential search does, but the
+    truncation point (and so [runs]) may differ. *)
 
 val iter_schedules :
   ?preemption_bound:int ->
@@ -82,10 +98,15 @@ val random_runs :
   ?runs:int ->
   ?step_limit:int ->
   ?on_step_limit:[ `Fail | `Ignore ] ->
+  ?jobs:int ->
   seed:int ->
   scenario ->
   outcome
 (** Volume testing with seeded random schedules; a complement to
-    [explore] for configurations too large to enumerate. *)
+    [explore] for configurations too large to enumerate. Run [i] uses
+    seed [seed + i], so runs are independent cells: with [jobs > 1] they
+    are distributed over a domain pool and the reported counterexample
+    is the lowest-index failure — the same one the sequential loop stops
+    at, with the same [runs] count. *)
 
 val pp_outcome : outcome Fmt.t

@@ -115,34 +115,51 @@ let run_plan subject plan =
   in
   (judge subject inst result, result, decisions)
 
-let certify ?(shrink = true) ?(max_shrink_rounds = 200) subject plans =
+(* One certification cell: everything [certify] needs from one plan's
+   run (and, on failure, its shrink). Cells are fully independent — the
+   policy is rebuilt per plan from the subject's seed and shrinking
+   replays only this cell's plan — so they can be evaluated on any
+   domain in any order and folded back in plan order. *)
+type cell = Cell_pass of { blocked : bool; worst : int } | Cell_fail of failure * int
+
+let run_cell ~shrink ~max_shrink_rounds subject plan =
+  let verdict, result, decisions = run_plan subject plan in
+  let worst = Array.fold_left max 0 result.Engine.own_steps in
+  match verdict with
+  | Pass { blocked } -> Cell_pass { blocked; worst }
+  | Fail message ->
+    let fails sched =
+      match replay_judge subject plan sched with Fail _ -> true | Pass _ -> false
+    in
+    let schedule =
+      if shrink then Shrink.shrink_by ~max_rounds:max_shrink_rounds ~fails decisions
+      else decisions
+    in
+    (* Shrinking may converge on a different failure of the same
+       plan; report the message the shrunk schedule actually
+       produces. *)
+    let message =
+      match replay_judge subject plan schedule with Fail m -> m | Pass _ -> message
+    in
+    Cell_fail ({ plan; message; schedule; shrunk_from = List.length decisions }, worst)
+
+let certify ?(shrink = true) ?(max_shrink_rounds = 200) ?(jobs = 1) subject plans =
+  let cells =
+    Hwf_par.Pool.map_list ~jobs (run_cell ~shrink ~max_shrink_rounds subject) plans
+  in
   let passed = ref 0 and blocked = ref 0 and worst = ref 0 in
   let failures = ref [] in
   List.iter
-    (fun plan ->
-      let verdict, result, decisions = run_plan subject plan in
-      Array.iter (fun s -> if s > !worst then worst := s) result.Engine.own_steps;
-      match verdict with
-      | Pass { blocked = b } ->
+    (fun cell ->
+      match cell with
+      | Cell_pass { blocked = b; worst = w } ->
         incr passed;
-        if b then incr blocked
-      | Fail message ->
-        let fails sched =
-          match replay_judge subject plan sched with Fail _ -> true | Pass _ -> false
-        in
-        let schedule =
-          if shrink then Shrink.shrink_by ~max_rounds:max_shrink_rounds ~fails decisions
-          else decisions
-        in
-        (* Shrinking may converge on a different failure of the same
-           plan; report the message the shrunk schedule actually
-           produces. *)
-        let message =
-          match replay_judge subject plan schedule with Fail m -> m | Pass _ -> message
-        in
-        failures :=
-          { plan; message; schedule; shrunk_from = List.length decisions } :: !failures)
-    plans;
+        if b then incr blocked;
+        worst := max !worst w
+      | Cell_fail (f, w) ->
+        worst := max !worst w;
+        failures := f :: !failures)
+    cells;
   {
     subject = subject.name;
     bound_desc = subject.bound_desc;

@@ -80,10 +80,19 @@ val replay_judge : subject -> Plan.t -> Schedule.t -> verdict
     predicate behind shrinking. *)
 
 val certify :
-  ?shrink:bool -> ?max_shrink_rounds:int -> subject -> Plan.t list -> report
+  ?shrink:bool -> ?max_shrink_rounds:int -> ?jobs:int -> subject -> Plan.t list -> report
 (** Run and judge every plan. [shrink] (default [true]) minimizes each
     failing schedule. Deterministic: same subject, plans and seeds give
-    the same report. *)
+    the same report.
+
+    [jobs] (default 1) distributes the plans — the independent
+    (victim, crash-point, plan) cells that {!Sweep} and
+    {!Suite.campaign} generate — over that many domains. Each cell
+    rebuilds its policy from the subject's seed ([subject.policy ()] is
+    called once per plan, parallel or not) and shrinks its own failure
+    by replaying only its own plan, so the report is identical to
+    [~jobs:1] plan for plan, including the shrunk counterexample
+    schedules. *)
 
 val certified : report -> bool
 (** No failures. *)

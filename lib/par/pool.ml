@@ -1,0 +1,46 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Record the minimum-index failure; CAS loop because two domains may
+   fail concurrently. *)
+let rec note_error err idx e =
+  match Atomic.get err with
+  | Some (i, _) when i <= idx -> ()
+  | cur ->
+    if not (Atomic.compare_and_set err cur (Some (idx, e))) then note_error err idx e
+
+let map ?jobs ?(batch = 1) f a =
+  let n = Array.length a in
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if batch < 1 then invalid_arg "Pool.map: batch must be >= 1";
+  if n = 0 then [||]
+  else if jobs <= 1 || n = 1 then Array.map f a
+  else begin
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    let err = Atomic.make None in
+    let worker () =
+      let live = ref true in
+      while !live do
+        let lo = Atomic.fetch_and_add next batch in
+        if lo >= n then live := false
+        else
+          for i = lo to min n (lo + batch) - 1 do
+            (* No early exit on error: every cell is evaluated so the
+               re-raised exception is the minimum-index one regardless
+               of how domains interleaved. *)
+            match f a.(i) with
+            | v -> out.(i) <- Some v
+            | exception e -> note_error err i e
+          done
+      done
+    in
+    let spawned = Array.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    match Atomic.get err with
+    | Some (_, e) -> raise e
+    | None -> Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map_list ?jobs ?batch f l =
+  Array.to_list (map ?jobs ?batch f (Array.of_list l))

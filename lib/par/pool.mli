@@ -1,0 +1,39 @@
+(** A hand-rolled work-distributing domain pool (OCaml 5 [Domain], no
+    Domainslib).
+
+    The pool model is a {e shared-counter work queue}: the input array
+    is the queue, and an atomic next-index counter is the only shared
+    scheduling state. Every worker — the calling domain plus up to
+    [jobs - 1] spawned domains — claims a batch of consecutive indices
+    with one [Atomic.fetch_and_add] and evaluates them; when the counter
+    passes the end of the array the worker retires. This is effectively
+    work stealing with a single global deque: a slow cell (say, a fault
+    plan whose schedule shrinks for a long time) occupies one domain
+    while the others drain the remaining cells, so load balance degrades
+    gracefully without per-domain deques.
+
+    Determinism contract: [map f a] writes [f a.(i)] into slot [i] of
+    the result, so the {e output} is independent of how work was
+    interleaved across domains — callers merge results in input order
+    and obtain the sequential answer. The contract holds only if [f]
+    itself is domain-safe: it must not mutate state shared between
+    cells except through [Atomic] (see [docs/PARALLELISM.md]).
+
+    Exceptions: if any cell raises, [map] re-raises the exception of the
+    {e lowest} failing index after all workers retire — again the
+    sequential behaviour, independent of interleaving. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the pool width used by the
+    CLI's [--jobs] default. *)
+
+val map : ?jobs:int -> ?batch:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs ~batch f a] evaluates [f] on every element of [a] using
+    up to [jobs] domains (default {!default_jobs}; [jobs <= 1] or a
+    short array runs inline with no domains spawned) claiming [batch]
+    indices per counter increment (default 1 — right for coarse cells
+    like whole engine runs, where one claim per cell is noise; raise it
+    only for micro-cells). Result slot [i] is [f a.(i)]. *)
+
+val map_list : ?jobs:int -> ?batch:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over a list, preserving order. *)

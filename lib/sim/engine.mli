@@ -20,7 +20,18 @@
 
     Processors interleave freely with respect to one another: any
     interleaving of statements across processors is schedulable, which
-    models true multiprocessor parallelism at statement granularity. *)
+    models true multiprocessor parallelism at statement granularity.
+
+    {b Domain-locality.} [run] allocates every piece of engine state —
+    process cells, the trace, the current-process cursor — inside the
+    call, and its effect handler is installed with [match_with] on the
+    calling domain only (OCaml effects do not cross domains). Concurrent
+    [run]s on different domains therefore never share engine state, which
+    is what lets the exploration and certification layers fan whole runs
+    out across a domain pool ([docs/PARALLELISM.md]); the one obligation
+    on callers is that [programs] and the state they close over (e.g.
+    {!Shared} stores) are freshly built per run and not shared between
+    concurrent runs. *)
 
 type stop_reason =
   | All_finished

@@ -6,7 +6,14 @@
     held in one variable, which preserves the atomicity granularity.
 
     Each access performs exactly one {!Eff.step}, so accesses are visible
-    to the scheduler and counted against the quantum. *)
+    to the scheduler and counted against the quantum.
+
+    A store models memory shared between {e simulated} processes, not
+    between OCaml domains: it is a plain mutable cell, safe because the
+    engine executes one statement at a time on one domain. When runs are
+    fanned out across a domain pool ([docs/PARALLELISM.md]), each run
+    must build its own stores (scenario [make] functions already do),
+    so no store is ever touched by two domains. *)
 
 type 'a t
 

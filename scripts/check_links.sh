@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Docs link check: fail on dead intra-repo markdown links in README.md
+# and docs/. External (http/mailto) and pure-anchor links are skipped;
+# everything else is resolved relative to the file that contains it.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+for f in README.md docs/*.md; do
+  dir=$(dirname "$f")
+  while IFS= read -r target; do
+    case "$target" in
+    http://* | https://* | mailto:* | "#"*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "dead link in $f: ($target)"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "link check: OK"
+fi
+exit "$fail"

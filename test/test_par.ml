@@ -1,0 +1,201 @@
+open Hwf_adversary
+open Hwf_workload
+open Hwf_faults
+
+(* The domain pool and the parallel exploration/certification paths.
+   The contract under test is determinism: [~jobs:n] for n > 1 must
+   produce outcomes bit-identical to [~jobs:1] — same run counts, same
+   verdicts, same (shrunk) counterexamples — whenever the search
+   completes within its budgets (docs/PARALLELISM.md). *)
+
+(* ---- the pool itself ---- *)
+
+let test_pool_map_order () =
+  let a = Array.init 200 Fun.id in
+  let f x = (x * x) + 1 in
+  Util.check
+    Alcotest.(array int)
+    "jobs=4 equals sequential map" (Array.map f a)
+    (Hwf_par.Pool.map ~jobs:4 f a)
+
+let test_pool_map_batched () =
+  let a = Array.init 97 Fun.id in
+  let f x = x * 3 in
+  Util.check
+    Alcotest.(array int)
+    "batch=7 equals sequential map" (Array.map f a)
+    (Hwf_par.Pool.map ~jobs:4 ~batch:7 f a)
+
+let test_pool_map_edges () =
+  Util.check Alcotest.(array int) "empty" [||] (Hwf_par.Pool.map ~jobs:4 succ [||]);
+  Util.check Alcotest.(array int) "singleton" [| 2 |] (Hwf_par.Pool.map ~jobs:4 succ [| 1 |]);
+  Util.check
+    Alcotest.(list int)
+    "map_list" [ 2; 3; 4 ]
+    (Hwf_par.Pool.map_list ~jobs:3 succ [ 1; 2; 3 ])
+
+let test_pool_exception_deterministic () =
+  (* Several cells raise; the re-raised exception must be the one of the
+     lowest failing index no matter how the domains interleaved. *)
+  let a = Array.init 64 Fun.id in
+  let f i = if i mod 13 = 5 then failwith (string_of_int i) else i in
+  for _ = 1 to 5 do
+    match Hwf_par.Pool.map ~jobs:4 f a with
+    | _ -> Alcotest.fail "expected an exception"
+    | exception Failure m -> Util.check Alcotest.string "lowest failing index" "5" m
+  done
+
+(* ---- parallel explore ---- *)
+
+let fig3 ~quantum ~pris =
+  Scenarios.consensus ~name:"par.f3" ~impl:Scenarios.Fig3 ~quantum
+    ~layout:(List.map (fun p -> (0, p)) pris)
+
+let check_outcomes name (o1 : Explore.outcome) (o4 : Explore.outcome) =
+  Util.checki (name ^ ": runs") o1.runs o4.runs;
+  Util.checkb (name ^ ": exhaustive") (o1.exhaustive = o4.exhaustive);
+  match (o1.counterexample, o4.counterexample) with
+  | None, None -> ()
+  | Some c1, Some c4 ->
+    Util.check Alcotest.string (name ^ ": message") c1.message c4.message;
+    Util.check
+      Alcotest.(list int)
+      (name ^ ": decision path") c1.decisions c4.decisions
+  | Some _, None -> Alcotest.failf "%s: jobs=4 missed the counterexample" name
+  | None, Some _ -> Alcotest.failf "%s: jobs=4 invented a counterexample" name
+
+let test_explore_parallel_identical_pass () =
+  (* Q = 8: exhaustive, no violation — counts and flags must agree. *)
+  let b = fig3 ~quantum:8 ~pris:[ 1; 1 ] in
+  let o1 = Explore.explore ~jobs:1 b.scenario in
+  let o4 = Explore.explore ~jobs:4 b.scenario in
+  Util.checkb "exhaustive at Q=8" o1.exhaustive;
+  check_outcomes "fig3 Q=8 2p" o1 o4;
+  let b3 = fig3 ~quantum:8 ~pris:[ 1; 1; 1 ] in
+  let o1 = Explore.explore ~preemption_bound:1 ~jobs:1 b3.scenario in
+  let o4 = Explore.explore ~preemption_bound:1 ~jobs:4 b3.scenario in
+  check_outcomes "fig3 Q=8 3p bounded" o1 o4
+
+let test_explore_parallel_identical_fail () =
+  (* Q = 1: the Theorem 1 violation exists; both modes must converge on
+     the same first counterexample in canonical schedule order. *)
+  let b = fig3 ~quantum:1 ~pris:[ 1; 1 ] in
+  let o1 = Explore.explore ~jobs:1 b.scenario in
+  let o4 = Explore.explore ~jobs:4 b.scenario in
+  Util.expect_fail "fig3 Q=1 jobs=1" o1;
+  Util.expect_fail "fig3 Q=1 jobs=4" o4;
+  check_outcomes "fig3 Q=1 2p" o1 o4;
+  let b3 = fig3 ~quantum:1 ~pris:[ 1; 1; 1 ] in
+  let o1 = Explore.explore ~jobs:1 b3.scenario in
+  let o4 = Explore.explore ~jobs:4 b3.scenario in
+  check_outcomes "fig3 Q=1 3p" o1 o4
+
+let counting_scenario b =
+  let makes = Atomic.make 0 in
+  let scenario =
+    Explore.
+      {
+        b.Scenarios.scenario with
+        make =
+          (fun () ->
+            Atomic.incr makes;
+            b.Scenarios.scenario.Explore.make ());
+      }
+  in
+  (makes, scenario)
+
+let test_explore_max_runs_exact () =
+  (* Regression (PR 2): the max_runs budget is one global atomic
+     counter, claimed once per engine run — the number of runs actually
+     performed must never exceed the budget, no matter how many domains
+     race on it. *)
+  let b = fig3 ~quantum:8 ~pris:[ 1; 1; 1 ] in
+  let makes, scenario = counting_scenario b in
+  let o = Explore.explore ~jobs:4 ~max_runs:25 scenario in
+  Util.checkb "no overshoot past max_runs" (Atomic.get makes <= 25);
+  Util.checkb "reported runs within budget" (o.runs <= 25);
+  Util.checkb "truncated search is not exhaustive" (not o.exhaustive);
+  let makes1, scenario1 = counting_scenario b in
+  let o1 = Explore.explore ~jobs:1 ~max_runs:25 scenario1 in
+  Util.checki "sequential spends the whole budget" 25 (Atomic.get makes1);
+  Util.checki "sequential reports the budget" 25 o1.runs
+
+let test_random_runs_parallel_identical () =
+  let b = fig3 ~quantum:1 ~pris:[ 1; 1; 1 ] in
+  let o1 = Explore.random_runs ~runs:200 ~seed:5 ~jobs:1 b.scenario in
+  let o4 = Explore.random_runs ~runs:200 ~seed:5 ~jobs:4 b.scenario in
+  Util.checki "same first failing run" o1.runs o4.runs;
+  match (o1.counterexample, o4.counterexample) with
+  | Some c1, Some c4 -> Util.check Alcotest.string "same message" c1.message c4.message
+  | None, None -> ()
+  | _ -> Alcotest.fail "random_runs: jobs=1 and jobs=4 verdicts differ"
+
+(* ---- parallel certify ---- *)
+
+let check_reports name (r1 : Certify.report) (r4 : Certify.report) =
+  Util.checki (name ^ ": plans") r1.plans r4.plans;
+  Util.checki (name ^ ": passed") r1.passed r4.passed;
+  Util.checki (name ^ ": blocked") r1.blocked r4.blocked;
+  Util.checki (name ^ ": worst own-steps") r1.worst_own_steps r4.worst_own_steps;
+  Util.checki (name ^ ": failures") (List.length r1.failures) (List.length r4.failures);
+  List.iter2
+    (fun (f1 : Certify.failure) (f4 : Certify.failure) ->
+      Util.check Alcotest.string (name ^ ": failure message") f1.message f4.message;
+      Util.check
+        Alcotest.(list int)
+        (name ^ ": shrunk schedule") f1.schedule f4.schedule;
+      Util.checki (name ^ ": shrunk_from") f1.shrunk_from f4.shrunk_from)
+    r1.failures r4.failures
+
+let test_certify_parallel_identical_clean () =
+  (* A full quick campaign (crash sweep + chaos) on Fig. 3: every cell
+     passes, and the parallel report must match count for count. *)
+  let subject = Suite.fig3 ~seed:17 () in
+  let plans = Suite.campaign ~quick:true ~seed:17 subject in
+  Util.checkb "campaign is non-trivial" (List.length plans > 4);
+  let r1 = Certify.certify ~jobs:1 subject plans in
+  let r4 = Certify.certify ~jobs:4 subject plans in
+  Util.checkb "fig3 certifies" (Certify.certified r1);
+  check_reports "fig3 quick campaign" r1 r4
+
+let test_certify_parallel_identical_failures () =
+  (* The negative control fails under the Axiom-2-suspended plan; a
+     mixed pass/fail plan list must fold back into an identical report,
+     including each failure's shrunk schedule. *)
+  let subject = Suite.negative () in
+  let plans = [ Plan.none; Suite.negative_plan; Plan.none; Suite.negative_plan ] in
+  let r1 = Certify.certify ~jobs:1 subject plans in
+  let r4 = Certify.certify ~jobs:4 subject plans in
+  Util.checki "two rejected cells" 2 (List.length r1.failures);
+  check_reports "negative control" r1 r4
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
+          Alcotest.test_case "batched map" `Quick test_pool_map_batched;
+          Alcotest.test_case "edge sizes" `Quick test_pool_map_edges;
+          Alcotest.test_case "deterministic exceptions" `Quick
+            test_pool_exception_deterministic;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "jobs=4 identical (pass)" `Quick
+            test_explore_parallel_identical_pass;
+          Alcotest.test_case "jobs=4 identical (counterexample)" `Quick
+            test_explore_parallel_identical_fail;
+          Alcotest.test_case "max_runs exact under fan-out" `Quick
+            test_explore_max_runs_exact;
+          Alcotest.test_case "random_runs jobs=4 identical" `Quick
+            test_random_runs_parallel_identical;
+        ] );
+      ( "certify",
+        [
+          Alcotest.test_case "jobs=4 identical report (clean)" `Quick
+            test_certify_parallel_identical_clean;
+          Alcotest.test_case "jobs=4 identical report (failures)" `Quick
+            test_certify_parallel_identical_failures;
+        ] );
+    ]
