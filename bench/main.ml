@@ -32,6 +32,7 @@ let experiments : (string * string * (quick:bool -> unit)) list =
     ("crash", "E15: halting failures / wait-freedom", Exp_crash.run);
     ("faults", "E16: fault-injection campaigns / wait-freedom certifier", Exp_faults.run);
     ("par", "E17: domain-parallel speedup campaign (BENCH_par.json)", Exp_par.run);
+    ("obs", "E18: observability overhead (observer hook on vs off)", Exp_obs.run);
   ]
 
 (* Bechamel micro-benchmarks: wall-clock cost of simulated operations. *)
@@ -111,9 +112,22 @@ let rec extract_jobs = function
     let args, j = extract_jobs rest in
     (a :: args, j)
 
+(* Same shape for the structured-export sinks ("--trace-out F",
+   "--metrics-out F"); see Exp_obs.export. *)
+let rec extract_opt key = function
+  | [] -> ([], None)
+  | k :: v :: rest when k = key ->
+    let args, _ = extract_opt key rest in
+    (args, Some v)
+  | a :: rest ->
+    let args, v = extract_opt key rest in
+    (a :: args, v)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args, jobs = extract_jobs args in
+  let args, trace_out = extract_opt "--trace-out" args in
+  let args, metrics_out = extract_opt "--metrics-out" args in
   Jobs.n := (match jobs with Some j when j >= 1 -> j | _ -> 1);
   let full = List.mem "--full" args in
   Tbl.csv_mode := List.mem "--csv" args;
@@ -131,4 +145,5 @@ let () =
     Tbl.section "timing (bechamel)";
     timing ()
   end;
+  Exp_obs.export ~trace_out ~metrics_out;
   Printf.printf "\nAll selected experiments completed.\n"

@@ -92,6 +92,30 @@ let render_arg =
   let doc = "Render the interleaving diagram of the run." in
   Arg.(value & flag & info [ "r"; "render" ] ~doc)
 
+let trace_out_arg =
+  let doc =
+    "Write the run's event trace as JSON lines (schema hwf-trace/1; see \
+     docs/OBSERVABILITY.md). Deterministic: identical bytes across --jobs \
+     settings."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Write run metrics as JSON lines (schema hwf-metrics/1; see \
+     docs/OBSERVABILITY.md). Deterministic: identical bytes across --jobs \
+     settings."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let export_trace path trace =
+  Hwf_obs.Jsonl.write_trace ~path trace;
+  Fmt.pr "trace: %s@." path
+
+let export_metrics path m =
+  Hwf_obs.Jsonl.write_metrics ~path m;
+  Fmt.pr "metrics: %s@." path
+
 let scenario_of impl cnum quantum layout =
   let impl =
     match impl with
@@ -104,12 +128,22 @@ let scenario_of impl cnum quantum layout =
 (* ---- run: one consensus execution ---- *)
 
 let run_cmd =
-  let action impl cnum quantum layout policy seed render =
+  let action impl cnum quantum layout policy seed render trace_out metrics_out =
     let b = scenario_of impl cnum quantum layout in
+    let config = b.Scenarios.scenario.Explore.config in
     let instance = b.Scenarios.scenario.Explore.make () in
+    (* Metrics are collected live through the engine's observer hook;
+       when no sink is requested, no collector exists and the engine
+       pays a single match per event. *)
+    let collector =
+      match metrics_out with
+      | None -> None
+      | Some _ -> Some (Hwf_obs.Metrics.collector config)
+    in
     let r =
-      Engine.run ~step_limit:20_000_000 ~config:b.Scenarios.scenario.Explore.config
-        ~policy:(make_policy policy seed) instance.Explore.programs
+      Engine.run ~step_limit:20_000_000
+        ?observer:(Option.map Hwf_obs.Metrics.feed collector)
+        ~config ~policy:(make_policy policy seed) instance.Explore.programs
     in
     let wf = Wellformed.check r.trace in
     Fmt.pr "finished: %b@." (Array.for_all Fun.id r.finished);
@@ -127,12 +161,16 @@ let run_cmd =
     | Some v -> Fmt.pr "consensus: %d@." v
     | None -> Fmt.pr "consensus: DISAGREEMENT OR INCOMPLETE@.");
     if render then Fmt.pr "@.%s@." (Render.lanes r.trace);
+    Option.iter (fun path -> export_trace path r.trace) trace_out;
+    Option.iter
+      (fun path -> export_metrics path (Hwf_obs.Metrics.finish (Option.get collector)))
+      metrics_out;
     if b.Scenarios.last_decision () = None then exit 1
   in
   let term =
     Term.(
       const action $ impl_arg $ cnum_arg $ quantum_arg $ layout_arg $ policy_arg
-      $ seed_arg $ render_arg)
+      $ seed_arg $ render_arg $ trace_out_arg $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a consensus algorithm once and report the decision.")
@@ -157,15 +195,36 @@ let explore_cmd =
     let doc = "Write the (possibly shrunk) counterexample schedule to this file." in
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
   in
-  let action impl cnum quantum layout pb max_runs do_shrink save jobs =
+  let action impl cnum quantum layout pb max_runs do_shrink save jobs trace_out
+      metrics_out =
     let b = scenario_of impl cnum quantum layout in
     let o =
       Explore.explore ?preemption_bound:pb ~max_runs ~step_limit:8_000_000 ~jobs
         b.Scenarios.scenario
     in
     Fmt.pr "%a@." Explore.pp_outcome o;
+    (* Exports are schedule-deterministic: the counterexample's replayed
+       trace if one was found, otherwise the canonical first (all-zeros)
+       schedule — both identical across --jobs settings whenever the
+       outcome is. *)
+    let export schedule =
+      let result, _ = Schedule.replay b.Scenarios.scenario schedule in
+      Option.iter (fun path -> export_trace path result.Engine.trace) trace_out;
+      Option.iter
+        (fun path ->
+          let m = Hwf_obs.Metrics.of_trace result.Engine.trace in
+          let m =
+            Hwf_obs.Metrics.with_harness m
+              [
+                ("explore.runs", o.Explore.runs);
+                ("explore.exhaustive", if o.Explore.exhaustive then 1 else 0);
+              ]
+          in
+          export_metrics path m)
+        metrics_out
+    in
     match o.counterexample with
-    | None -> ()
+    | None -> if trace_out <> None || metrics_out <> None then export []
     | Some c ->
       let schedule =
         if do_shrink then begin
@@ -184,12 +243,14 @@ let explore_cmd =
         Schedule.save ~path schedule;
         Fmt.pr "saved to %s@." path
       | None -> ());
+      export schedule;
       exit 1
   in
   let term =
     Term.(
       const action $ impl_arg $ cnum_arg $ quantum_arg $ layout_arg $ pb_arg
-      $ max_runs_arg $ shrink_arg $ save_arg $ jobs_arg)
+      $ max_runs_arg $ shrink_arg $ save_arg $ jobs_arg $ trace_out_arg
+      $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "explore"
@@ -290,18 +351,78 @@ let cas_cmd =
   let runs_arg =
     Arg.(value & opt int 100 & info [ "runs" ] ~docv:"N" ~doc:"Random schedules to test.")
   in
-  let action quantum layout seed ops runs jobs =
+  let action quantum layout seed ops runs jobs trace_out metrics_out =
     let n = List.length layout in
     let script = Scenarios.random_script ~seed ~n ~ops_per:ops in
     let s = Scenarios.hybrid_cas ~name:"cli" ~quantum ~layout ~script in
     let o = Explore.random_runs ~runs ~step_limit:2_000_000 ~jobs ~seed s in
     Fmt.pr "%a@." Explore.pp_outcome o;
+    (if trace_out <> None || metrics_out <> None then
+       match o.counterexample with
+       | Some c ->
+         Option.iter (fun path -> export_trace path c.Explore.trace) trace_out;
+         Option.iter
+           (fun path ->
+             let m = Hwf_obs.Metrics.of_trace c.Explore.trace in
+             export_metrics path
+               (Hwf_obs.Metrics.with_harness m [ ("cas.runs", o.Explore.runs) ]))
+           metrics_out
+       | None ->
+         (* No failure: export one canonical single-threaded run (live
+            collector), with the Fig. 5 access-failure tap reported
+            against the Lemma 2 envelope. *)
+         let collector =
+           Hwf_obs.Metrics.collector (Hwf_workload.Layout.to_config ~quantum layout)
+         in
+         let sum =
+           Scenarios.run_cas ~step_limit:2_000_000
+             ~observer:(Hwf_obs.Metrics.feed collector)
+             ~quantum ~layout ~script ~policy:(Policy.random ~seed) ()
+         in
+         Option.iter (fun path -> export_trace path sum.Scenarios.cas_trace) trace_out;
+         Option.iter
+           (fun path ->
+             let st = sum.Scenarios.cas_stats in
+             let m = Hwf_obs.Metrics.finish collector in
+             let m =
+               Hwf_obs.Metrics.with_bounds m
+                 [
+                   {
+                     Hwf_obs.Metrics.name = "cas.worst_af_diff (Lemma 2)";
+                     measured = st.Hwf_core.Hybrid_cas.worst_af_diff;
+                     bound =
+                       Some
+                         (Hwf_core.Bounds.af_diff_bound
+                            ~m:
+                              (Config.max_per_processor
+                                 (Hwf_workload.Layout.to_config ~quantum layout)));
+                   };
+                   {
+                     Hwf_obs.Metrics.name = "cas.worst_af_same";
+                     measured = st.Hwf_core.Hybrid_cas.worst_af_same;
+                     bound = None;
+                   };
+                 ]
+             in
+             let m =
+               Hwf_obs.Metrics.with_harness m
+                 [
+                   ("cas.runs", o.Explore.runs);
+                   ("cas.ops", st.Hwf_core.Hybrid_cas.ops);
+                   ("cas.appends", st.Hwf_core.Hybrid_cas.appends);
+                   ("cas.af_diff_total", st.Hwf_core.Hybrid_cas.af_diff);
+                   ("cas.af_same_total", st.Hwf_core.Hybrid_cas.af_same);
+                   ("cas.scan_failures", st.Hwf_core.Hybrid_cas.scan_failures);
+                 ]
+             in
+             export_metrics path m)
+           metrics_out);
     if o.counterexample <> None then exit 1
   in
   let term =
     Term.(
       const action $ quantum_arg $ layout_arg $ seed_arg $ ops_arg $ runs_arg
-      $ jobs_arg)
+      $ jobs_arg $ trace_out_arg $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "cas"
@@ -416,18 +537,24 @@ let faults_cmd =
     in
     Arg.(value & flag & info [ "negative" ] ~doc)
   in
-  let action chosen seed full negative jobs =
+  let action chosen seed full negative jobs trace_out metrics_out =
     let chosen =
       if chosen = [] then subjects
       else List.filter (fun (n, _) -> List.mem n chosen) subjects
     in
     let rows = ref [] and all_ok = ref true in
     let failures = ref [] in
+    let total_plans = ref 0 and total_passed = ref 0 in
+    let total_blocked = ref 0 and worst_steps = ref 0 in
     List.iter
       (fun (_, make_subject) ->
         let subject = make_subject ?seed:(Some seed) () in
         let plans = Suite.campaign ~quick:(not full) ~seed subject in
         let report = Certify.certify ~jobs subject plans in
+        total_plans := !total_plans + report.Certify.plans;
+        total_passed := !total_passed + report.Certify.passed;
+        total_blocked := !total_blocked + report.Certify.blocked;
+        worst_steps := max !worst_steps report.Certify.worst_own_steps;
         if not (Certify.certified report) then begin
           all_ok := false;
           failures := report :: !failures
@@ -476,11 +603,38 @@ let faults_cmd =
           Fmt.pr "%s@." (String.concat "  " (List.map (fun w -> String.make w '-') widths)))
       rows;
     List.iter (fun r -> Fmt.pr "@.%a@." Certify.pp_report r) (List.rev !failures);
+    (* Exports: one deterministic judged run — the first chosen subject's
+       first campaign plan — plus the campaign totals as harness rows. *)
+    (if trace_out <> None || metrics_out <> None then
+       match chosen with
+       | [] -> ()
+       | (_, make_subject) :: _ -> (
+         let subject = make_subject ?seed:(Some seed) () in
+         match Suite.campaign ~quick:(not full) ~seed subject with
+         | [] -> ()
+         | plan :: _ ->
+           let _, r, _ = Certify.run_plan subject plan in
+           Option.iter (fun path -> export_trace path r.Engine.trace) trace_out;
+           Option.iter
+             (fun path ->
+               let m = Hwf_obs.Metrics.of_trace r.Engine.trace in
+               let m =
+                 Hwf_obs.Metrics.with_harness m
+                   [
+                     ("faults.plans", !total_plans);
+                     ("faults.passed", !total_passed);
+                     ("faults.blocked", !total_blocked);
+                     ("faults.worst_own_steps", !worst_steps);
+                   ]
+               in
+               export_metrics path m)
+             metrics_out));
     if not !all_ok then exit 1
   in
   let term =
     Term.(
-      const action $ subject_arg $ seed_arg $ full_arg $ negative_arg $ jobs_arg)
+      const action $ subject_arg $ seed_arg $ full_arg $ negative_arg $ jobs_arg
+      $ trace_out_arg $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "faults"
@@ -488,6 +642,166 @@ let faults_cmd =
          "Certify wait-freedom of the core algorithms under fault-plan sweeps \
           (crash points, adversarial costs, chaos), printing a report table \
           (domain-parallel with --jobs).")
+    term
+
+(* ---- stats: the observability report ---- *)
+
+let stats_cmd =
+  let open Hwf_core in
+  let impl_arg =
+    let doc =
+      "Subject: fig5 (hybrid C&S, Lemma 2 margin) or fig7 (multiprocessor \
+       consensus, Lemma 2/3 margins)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("fig5", `Fig5); ("fig7", `Fig7) ]) `Fig5
+      & info [ "i"; "impl" ] ~docv:"IMPL" ~doc)
+  in
+  let ops_arg =
+    Arg.(value & opt int 3 & info [ "ops" ] ~docv:"N" ~doc:"Operations per process (fig5).")
+  in
+  let max_runs_arg =
+    let doc = "Schedule budget for the harness-statistics exploration." in
+    Arg.(value & opt int 2_000 & info [ "max-runs" ] ~docv:"N" ~doc)
+  in
+  let action impl cnum quantum layout policy seed ops max_runs jobs trace_out metrics_out
+      =
+    let config = Layout.to_config ~quantum layout in
+    let mpp = Config.max_per_processor config in
+    (* One measured run, metrics collected live through the observer
+       hook, with the algorithm's access-failure tap reported against
+       the paper's envelopes (docs/OBSERVABILITY.md maps the symbols). *)
+    let collector = Hwf_obs.Metrics.collector config in
+    let observer = Hwf_obs.Metrics.feed collector in
+    let metrics, trace, scenario =
+      match impl with
+      | `Fig5 ->
+        let n = List.length layout in
+        let script = Scenarios.random_script ~seed ~n ~ops_per:ops in
+        let sum =
+          Scenarios.run_cas ~step_limit:8_000_000 ~observer ~quantum ~layout ~script
+            ~policy:(make_policy policy seed) ()
+        in
+        let st = sum.Scenarios.cas_stats in
+        Fmt.pr "fig5 run: finished=%b linearizable=%b well-formed=%b@."
+          sum.Scenarios.cas_finished sum.Scenarios.linearizable
+          sum.Scenarios.cas_well_formed;
+        let m = Hwf_obs.Metrics.finish collector in
+        let m =
+          Hwf_obs.Metrics.with_bounds m
+            [
+              {
+                Hwf_obs.Metrics.name = "AF_diff/op (Lemma 2, <=M)";
+                measured = st.Hybrid_cas.worst_af_diff;
+                bound = Some (Bounds.af_diff_bound ~m:mpp);
+              };
+              {
+                Hwf_obs.Metrics.name = "AF_same/op (worst)";
+                measured = st.Hybrid_cas.worst_af_same;
+                bound = None;
+              };
+            ]
+        in
+        let m =
+          Hwf_obs.Metrics.with_harness m
+            [
+              ("cas.ops", st.Hybrid_cas.ops);
+              ("cas.appends", st.Hybrid_cas.appends);
+              ("cas.af_diff_total", st.Hybrid_cas.af_diff);
+              ("cas.af_same_total", st.Hybrid_cas.af_same);
+              ("cas.scan_failures", st.Hybrid_cas.scan_failures);
+            ]
+        in
+        ( m,
+          sum.Scenarios.cas_trace,
+          Scenarios.hybrid_cas ~name:"stats" ~quantum ~layout ~script )
+      | `Fig7 ->
+        let sum =
+          Scenarios.run_multi ~step_limit:8_000_000 ~observer ~quantum
+            ~consensus_number:cnum ~layout ~policy:(make_policy policy seed) ()
+        in
+        let p = config.Config.processors in
+        let k = min cnum (2 * p) - p in
+        Fmt.pr "fig7 run: finished=%b agreed=%b valid=%b well-formed=%b@."
+          sum.Scenarios.finished sum.Scenarios.agreed sum.Scenarios.valid
+          sum.Scenarios.well_formed;
+        let m = Hwf_obs.Metrics.finish collector in
+        let m =
+          Hwf_obs.Metrics.with_bounds m
+            [
+              {
+                Hwf_obs.Metrics.name = "AF_diff sites (Lemma 2)";
+                measured = List.length sum.Scenarios.af_diff;
+                bound = Some (Bounds.af_diff_bound ~m:mpp);
+              };
+              {
+                Hwf_obs.Metrics.name = "AF_same sites (Lemma 3)";
+                measured = List.length sum.Scenarios.af_same;
+                bound =
+                  Some (Bounds.af_same_bound ~m:mpp ~p ~k ~l:sum.Scenarios.levels);
+              };
+            ]
+        in
+        let m =
+          Hwf_obs.Metrics.with_harness m
+            [
+              ("mc.af_same_events", sum.Scenarios.af_same_events);
+              ("mc.af_diff_events", sum.Scenarios.af_diff_events);
+              ("mc.exhausted", sum.Scenarios.exhausted);
+              ("mc.levels", sum.Scenarios.levels);
+            ]
+        in
+        (m, sum.Scenarios.trace, (scenario_of `Fig7 cnum quantum layout).Scenarios.scenario)
+    in
+    Fmt.pr "@.%a@." Hwf_obs.Metrics.pp metrics;
+    (* Harness statistics: a bounded exploration of the same scenario
+       with the search-layer counters on. Runs/sec and the pool picture
+       depend on wall clock and domain racing — display-only, never
+       exported. *)
+    let estats = Explore.make_stats ~jobs scenario in
+    let t0 = Unix.gettimeofday () in
+    let o = Explore.explore ~max_runs ~step_limit:2_000_000 ~jobs ~stats:estats scenario in
+    let dt = Unix.gettimeofday () -. t0 in
+    Fmt.pr "@.search: %d runs in %.3fs (%.0f runs/sec, jobs=%d)%s@." o.Explore.runs dt
+      (if dt > 0. then float_of_int o.Explore.runs /. dt else 0.)
+      jobs
+      (if o.Explore.exhaustive then ", exhaustive" else "");
+    Array.iteri
+      (fun i r -> if r > 0 then Fmt.pr "  subtree %d: %d runs@." i r)
+      (Explore.stats_subtree_runs estats);
+    let pool = Explore.stats_pool estats in
+    Fmt.pr "pool: %d claims, %d cells evaluated, %d skipped@."
+      (Hwf_par.Pool.stats_claims pool)
+      (Hwf_par.Pool.stats_evaluated pool)
+      (Hwf_par.Pool.stats_skipped pool);
+    Array.iteri
+      (fun w c -> if c > 0 then Fmt.pr "  domain %d: %d cells@." w c)
+      (Hwf_par.Pool.stats_per_worker pool);
+    Option.iter (fun path -> export_trace path trace) trace_out;
+    Option.iter
+      (fun path ->
+        let m =
+          Hwf_obs.Metrics.with_harness metrics
+            [
+              ("explore.runs", o.Explore.runs);
+              ("explore.exhaustive", if o.Explore.exhaustive then 1 else 0);
+            ]
+        in
+        export_metrics path m)
+      metrics_out
+  in
+  let term =
+    Term.(
+      const action $ impl_arg $ cnum_arg $ quantum_arg $ layout_arg $ policy_arg
+      $ seed_arg $ ops_arg $ max_runs_arg $ jobs_arg $ trace_out_arg $ metrics_out_arg)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a scenario with live metrics collection and print the observability \
+          report: per-process scheduling metrics, measured access failures vs the \
+          Lemma 2/3 bounds (with margins), and search-harness counters.")
     term
 
 (* ---- trace: Fig. 1/2 demo ---- *)
@@ -525,5 +839,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; explore_cmd; replay_cmd; analyze_cmd; bivalence_cmd; cas_cmd;
-            bounds_cmd; sweep_cmd; faults_cmd; trace_cmd;
+            bounds_cmd; sweep_cmd; faults_cmd; stats_cmd; trace_cmd;
           ]))

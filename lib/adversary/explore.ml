@@ -23,6 +23,41 @@ type outcome = {
    [candidates] alternatives, and the pid it mapped to. *)
 type slot = { choice : int; candidates : int; pid : Proc.pid }
 
+(* Search-layer counters (observability; see docs/OBSERVABILITY.md).
+   Atomics because subtree DFSs run on pool domains. Off by default:
+   without a [stats] argument nothing is allocated or touched. The
+   per-root run counts are schedule-deterministic when the search
+   completes; the pool counters depend on domain racing and are
+   display-only. *)
+type stats = {
+  subtree_runs : int Atomic.t array;  (* indexed by top-level choice *)
+  pool : Hwf_par.Pool.stats;
+}
+
+let make_stats ?jobs scenario =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Hwf_par.Pool.default_jobs ()
+  in
+  {
+    subtree_runs = Array.init (max 1 (Config.n scenario.config)) (fun _ -> Atomic.make 0);
+    pool = Hwf_par.Pool.make_stats ~jobs;
+  }
+
+let stats_subtree_runs s = Array.map Atomic.get s.subtree_runs
+let stats_pool s = s.pool
+
+let record_run stats slots =
+  match stats with
+  | None -> ()
+  | Some s ->
+    if Vec.length slots > 0 then begin
+      let c = (Vec.get slots 0).choice in
+      if c < Array.length s.subtree_runs then
+        ignore (Atomic.fetch_and_add s.subtree_runs.(c) 1)
+    end
+
+let pool_of stats = Option.map (fun s -> s.pool) stats
+
 let verdict ~on_step_limit instance (result : Engine.result) =
   match Wellformed.check result.trace with
   | v :: _ ->
@@ -116,7 +151,7 @@ type subtree = { sruns : int; sexhaustive : bool; scx : counterexample option }
    so the total number of engine runs across all domains never exceeds
    [max_runs]. [aborted] lets a worker retire once a lower-indexed
    subtree (earlier in canonical order) has found a counterexample. *)
-let subtree_dfs ~claim ~aborted ~preemption_bound ~max_depth ~step_limit
+let subtree_dfs ~claim ~aborted ~stats ~preemption_bound ~max_depth ~step_limit
     ~on_step_limit ~root scenario start =
   let runs = ref 0 in
   let exhaustive = ref true in
@@ -135,6 +170,7 @@ let subtree_dfs ~claim ~aborted ~preemption_bound ~max_depth ~step_limit
         run_one ~preemption_bound ~max_depth ~step_limit ~config:scenario.config
           instance prefix
       in
+      record_run stats slots;
       if truncated then exhaustive := false;
       match verdict ~on_step_limit instance result with
       | Error message ->
@@ -160,12 +196,12 @@ let outcome_of st =
   { runs = st.sruns; exhaustive = st.sexhaustive; counterexample = st.scx }
 
 let explore ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
-    ?(step_limit = 100_000) ?(on_step_limit = `Fail) ?(jobs = 1) scenario =
+    ?(step_limit = 100_000) ?(on_step_limit = `Fail) ?(jobs = 1) ?stats scenario =
   let claimed = Atomic.make 0 in
   let claim () =
     Atomic.get claimed < max_runs && Atomic.fetch_and_add claimed 1 < max_runs
   in
-  let dfs = subtree_dfs ~preemption_bound ~max_depth ~step_limit ~on_step_limit in
+  let dfs = subtree_dfs ~stats ~preemption_bound ~max_depth ~step_limit ~on_step_limit in
   let never_aborted () = false in
   if jobs <= 1 then
     outcome_of (dfs ~claim ~aborted:never_aborted ~root:None scenario [||])
@@ -178,6 +214,7 @@ let explore ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
       run_one ~preemption_bound ~max_depth ~step_limit ~config:scenario.config
         instance [||]
     in
+    record_run stats slots;
     match verdict ~on_step_limit instance result with
     | Error message ->
       let decisions = List.map (fun s -> s.pid) (Vec.to_list slots) in
@@ -228,7 +265,8 @@ let explore ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
           st
         in
         let results =
-          Hwf_par.Pool.map ~jobs ~batch:1 run_subtree (Array.init width Fun.id)
+          Hwf_par.Pool.map ~jobs ~batch:1 ?stats:(pool_of stats) run_subtree
+            (Array.init width Fun.id)
         in
         (* Canonical merge: walk subtrees in index order — the order the
            sequential DFS visits them — summing run counts until the
@@ -276,7 +314,7 @@ let iter_schedules ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
   !runs
 
 let random_runs ?(runs = 1_000) ?(step_limit = 100_000) ?(on_step_limit = `Fail)
-    ?(jobs = 1) ~seed scenario =
+    ?(jobs = 1) ?stats ~seed scenario =
   (* Run [i] is fully determined by [seed + i], so the cells are
      independent and the parallel merge is by index: the reported
      counterexample is the lowest-index failure, exactly the one the
@@ -315,7 +353,7 @@ let random_runs ?(runs = 1_000) ?(step_limit = 100_000) ?(on_step_limit = `Fail)
           Some cx
         | None -> None
     in
-    let results = Hwf_par.Pool.map ~jobs cell (Array.init runs Fun.id) in
+    let results = Hwf_par.Pool.map ~jobs ?stats:(pool_of stats) cell (Array.init runs Fun.id) in
     let hit = ref None in
     Array.iteri
       (fun i r -> if !hit = None && r <> None then hit := Some (i, Option.get r))

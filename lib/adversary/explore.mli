@@ -50,6 +50,25 @@ type outcome = {
   counterexample : counterexample option;
 }
 
+type stats
+(** Search-layer counters for the observability layer: engine runs per
+    top-level scheduling choice (subtree sizes), plus the domain pool's
+    occupancy counters. Off by default — without a [?stats] argument
+    nothing is counted. The per-root run counts are deterministic
+    whenever the search completes; the pool counters depend on domain
+    racing and are display-only (never exported to JSONL). *)
+
+val make_stats : ?jobs:int -> scenario -> stats
+(** [jobs] sizes the pool's per-worker histogram (default
+    {!Hwf_par.Pool.default_jobs}); the subtree histogram is sized by the
+    scenario's process count. *)
+
+val stats_subtree_runs : stats -> int array
+(** Runs performed per top-level choice index — the subtree sizes of the
+    parallel fan-out (index 0 includes the probe run). *)
+
+val stats_pool : stats -> Hwf_par.Pool.stats
+
 val explore :
   ?preemption_bound:int ->
   ?max_runs:int ->
@@ -57,6 +76,7 @@ val explore :
   ?step_limit:int ->
   ?on_step_limit:[ `Fail | `Ignore ] ->
   ?jobs:int ->
+  ?stats:stats ->
   scenario ->
   outcome
 (** DFS over schedules. [preemption_bound] (default unlimited) caps paid
@@ -99,6 +119,7 @@ val random_runs :
   ?step_limit:int ->
   ?on_step_limit:[ `Fail | `Ignore ] ->
   ?jobs:int ->
+  ?stats:stats ->
   seed:int ->
   scenario ->
   outcome

@@ -17,7 +17,6 @@ let shrink_by ?(max_rounds = 200) ~fails failing =
     let rec chunk_pass cur size =
       if size = 0 then cur
       else begin
-        let n = List.length cur in
         let rec at i cur =
           if i >= List.length cur then cur
           else
@@ -26,6 +25,12 @@ let shrink_by ?(max_rounds = 200) ~fails failing =
             | None -> at (i + size) cur
         in
         let cur = at 0 cur in
+        (* Halve against the list as it is *after* the pass, not the
+           length captured before it: a pass that removed most of the
+           list would otherwise keep scheduling chunk sizes larger than
+           what remains, burning shrink budget on candidates that are
+           just the empty list. *)
+        let n = List.length cur in
         chunk_pass cur (if size > n then n / 2 else size / 2)
       end
     in

@@ -15,6 +15,19 @@ type pstate = {
   mutable lasttag : int;
   reads : int Queue.t;  (* last 2N tags read *)
   selected : int Queue.t;  (* last 2N tags selected *)
+  (* access failures observed by the operation in progress *)
+  mutable op_diff : int;
+  mutable op_same : int;
+}
+
+type stats = {
+  af_diff : int;
+  af_same : int;
+  scan_failures : int;
+  worst_af_diff : int;
+  worst_af_same : int;
+  ops : int;
+  appends : int;
 }
 
 type 'a t = {
@@ -28,6 +41,15 @@ type 'a t = {
   seen : 'a Shared.t array;  (* per level *)
   pstates : (int, pstate) Hashtbl.t;
   mutable appends : int;  (* harness statistic *)
+  (* access-failure tap (Lemma 2): totals plus the worst single
+     operation, updated as operations complete. Plain bookkeeping, not
+     statements. *)
+  mutable af_diff : int;
+  mutable af_same : int;
+  mutable scan_failures : int;
+  mutable worst_af_diff : int;
+  mutable worst_af_same : int;
+  mutable ops : int;
 }
 
 let tag_space n = (4 * n) + 2
@@ -68,15 +90,50 @@ let make ~config ~name ~init =
   let seen =
     Array.init v (fun i -> Shared.make (Printf.sprintf "%s.Seen[%d]" name (i + 1)) init)
   in
-  { name; n; v; priority; cells; hd; a; seen; pstates = Hashtbl.create 8; appends = 0 }
+  {
+    name;
+    n;
+    v;
+    priority;
+    cells;
+    hd;
+    a;
+    seen;
+    pstates = Hashtbl.create 8;
+    appends = 0;
+    af_diff = 0;
+    af_same = 0;
+    scan_failures = 0;
+    worst_af_diff = 0;
+    worst_af_same = 0;
+    ops = 0;
+  }
 
 let pstate t pid =
   match Hashtbl.find_opt t.pstates pid with
   | Some s -> s
   | None ->
-    let s = { j = 0; lasttag = -1; reads = Queue.create (); selected = Queue.create () } in
+    let s =
+      {
+        j = 0;
+        lasttag = -1;
+        reads = Queue.create ();
+        selected = Queue.create ();
+        op_diff = 0;
+        op_same = 0;
+      }
+    in
     Hashtbl.add t.pstates pid s;
     s
+
+let begin_op st =
+  st.op_diff <- 0;
+  st.op_same <- 0
+
+let end_op t st =
+  t.ops <- t.ops + 1;
+  if st.op_diff > t.worst_af_diff then t.worst_af_diff <- st.op_diff;
+  if st.op_same > t.worst_af_same then t.worst_af_same <- st.op_same
 
 let cell_of_hd t (h : hd) = t.cells.(h.hid).(h.htag)
 
@@ -91,15 +148,24 @@ let feedback t ~q ~i ~(cmp : hd) ~(h : hd ref) =
     Shared.write t.a.(q).(i - 1) !h.htag (* line 2 *);
     let tmp = Q_cas.read t.hd.(i - 1) (* line 3 *) in
     Eff.local (t.name ^ ".fb.4");
-    if (cmp.hid, cmp.htag) <> (tmp.hid, tmp.htag) then
-      if i > pri then false (* line 5: higher-priority preemption *)
+    if (cmp.hid, cmp.htag) <> (tmp.hid, tmp.htag) then begin
+      let st = pstate t caller in
+      if i > pri then begin
+        (* line 5: higher-priority preemption *)
+        st.op_diff <- st.op_diff + 1;
+        t.af_diff <- t.af_diff + 1;
+        false
+      end
       else begin
         (* i = pri; lines 6-7 (protected by the quantum) *)
+        st.op_same <- st.op_same + 1;
+        t.af_same <- t.af_same + 1;
         Shared.write t.a.(q).(i - 1) tmp.htag (* line 6 *);
         Eff.local (t.name ^ ".fb.7");
         h := tmp;
         true
       end
+    end
     else true
   end
 
@@ -193,6 +259,7 @@ let apply t ~pid ~pri ~old ~new_ ~mytag (h : hd) =
 let cas t ~pid ~expected ~desired =
   let pri = t.priority pid in
   let st = pstate t pid in
+  begin_op st;
   let mytag = select_tag t st ~pri (* lines 8-10 *) in
   let my_cell = t.cells.(pid).(mytag) in
   Shared.write my_cell.value desired (* line 11 *);
@@ -233,15 +300,22 @@ let cas t ~pid ~expected ~desired =
     end;
     incr i
   done;
-  match !result with
-  | Some b -> b
-  | None ->
-    Eff.local (t.name ^ ".25");
-    false (* line 25: preempted throughout the scan; some C&S succeeded *)
+  let res =
+    match !result with
+    | Some b -> b
+    | None ->
+      Eff.local (t.name ^ ".25");
+      t.scan_failures <- t.scan_failures + 1;
+      false (* line 25: preempted throughout the scan; some C&S succeeded *)
+  in
+  end_op t st;
+  res
 
 (* Fig. 5, procedure Read() — lines 46-62. *)
 let read t ~pid =
   let pri = t.priority pid in
+  let st = pstate t pid in
+  begin_op st;
   (* line 46: levels in order 1..V, with the own level visited last *)
   let order = List.filter (fun i -> i <> pri) (List.init t.v (fun i -> i + 1)) @ [ pri ] in
   let rhd = Array.make t.v { hid = t.n; htag = 0; last = t.n } in
@@ -286,20 +360,35 @@ let read t ~pid =
         end
       end)
     order;
-  match !result with
-  | Some value -> value
-  | None -> (
-    (* lines 59-61: some same- or higher-priority Hd must have changed *)
-    let changed = ref false in
-    for i = pri + 1 to t.v do
-      let cur = Q_cas.read t.hd.(i - 1) (* line 60 *) in
-      if cur <> rhd.(i - 1) then changed := true
-    done;
-    if !changed then Shared.read t.seen.(pri - 1) (* line 61 *)
-    else
-      (* line 62: it was a same-priority change *)
-      match !next with
-      | Some nx -> Shared.read (cell_of_hd t nx).value
-      | None -> assert false (* the own-level iteration always sets [next] *))
+  let res =
+    match !result with
+    | Some value -> value
+    | None -> (
+      (* lines 59-61: some same- or higher-priority Hd must have changed *)
+      let changed = ref false in
+      for i = pri + 1 to t.v do
+        let cur = Q_cas.read t.hd.(i - 1) (* line 60 *) in
+        if cur <> rhd.(i - 1) then changed := true
+      done;
+      if !changed then Shared.read t.seen.(pri - 1) (* line 61 *)
+      else
+        (* line 62: it was a same-priority change *)
+        match !next with
+        | Some nx -> Shared.read (cell_of_hd t nx).value
+        | None -> assert false (* the own-level iteration always sets [next] *))
+  in
+  end_op t st;
+  res
 
 let appends t = t.appends
+
+let stats t =
+  {
+    af_diff = t.af_diff;
+    af_same = t.af_same;
+    scan_failures = t.scan_failures;
+    worst_af_diff = t.worst_af_diff;
+    worst_af_same = t.worst_af_same;
+    ops = t.ops;
+    appends = t.appends;
+  }

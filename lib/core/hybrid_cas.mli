@@ -52,3 +52,28 @@ val read : 'a t -> pid:int -> 'a
 val appends : 'a t -> int
 (** Harness inspection: cells successfully appended (successful
     non-trivial C&S operations) so far. Not a statement. *)
+
+type stats = {
+  af_diff : int;
+      (** Feedback line-5 aborts: a {e higher}-priority [Hd] changed
+          between the read and the recheck. Lemma 2 bounds these at [M]
+          per operation. *)
+  af_same : int;
+      (** Feedback lines 6–7: a {e same}-priority [Hd] changed and the
+          operation re-read it (quantum-protected retry). *)
+  scan_failures : int;
+      (** Line-25 fallthroughs: a whole C&S scan completed without
+          finding the head — the operation was preempted throughout and
+          linearizes as a failed C&S. *)
+  worst_af_diff : int;  (** Max [af_diff] of any single operation. *)
+  worst_af_same : int;  (** Max [af_same] of any single operation. *)
+  ops : int;  (** Completed [cas] + [read] operations. *)
+  appends : int;  (** As {!appends}. *)
+}
+
+val stats : 'a t -> stats
+(** The access-failure tap behind [hybridsim stats]: measured
+    access-failure counts to report against the Lemma 2 envelope
+    ([worst_af_diff <= M]). Counter updates are plain OCaml bookkeeping,
+    not simulated statements — reading them does not perturb the
+    schedule space. *)

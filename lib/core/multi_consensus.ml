@@ -25,6 +25,10 @@ type 'a t = {
          classified by the observer's priority vs the parked claimant's
          (same-priority / different-priority, Sec. 4.2) *)
   claimants : (int * int, int) Hashtbl.t;  (* (processor, level) -> last claimant pid *)
+  (* every AF observation, not just distinct (processor, level) sites —
+     the totals the observability layer exports *)
+  mutable af_same_events : int;
+  mutable af_diff_events : int;
   returned : 'a Vec.t;
 }
 
@@ -75,6 +79,8 @@ let make ?levels_override ~config ~name ~consensus_number () =
     exhausted = 0;
     af = Hashtbl.create 32;
     claimants = Hashtbl.create 32;
+    af_same_events = 0;
+    af_diff_events = 0;
     returned = Vec.create ();
   }
 
@@ -166,6 +172,10 @@ let decide t ~pid input0 =
               | Some _ -> `Diff
               | None -> `Diff (* ports consumed but never election-claimed *)
             in
+            (match cls with
+            | `Same -> t.af_same_events <- t.af_same_events + 1
+            | `Diff -> t.af_diff_events <- t.af_diff_events + 1
+            | `Both -> assert false (* fresh classification is never merged *));
             let cls =
               match Hashtbl.find_opt t.af (i, l) with
               | None -> cls
@@ -232,6 +242,8 @@ let access_failures_classified t =
       | `Both -> ((i, l) :: same, (i, l) :: diff))
     t.af ([], [])
   |> fun (same, diff) -> (List.sort compare same, List.sort compare diff)
+
+let access_failure_events t = (t.af_same_events, t.af_diff_events)
 
 let first_deciding_level t =
   let af = access_failures t in

@@ -69,6 +69,12 @@ val access_failures_classified : 'a t -> (int * int) list * (int * int) list
     observed both ways appears in both lists, mirroring the paper's
     remark that one preemption can cause both kinds. *)
 
+val access_failure_events : 'a t -> int * int
+(** [(same, diff)] counts of {e every} access-failure observation, not
+    just the distinct [(processor, level)] sites of
+    {!access_failures_classified} — the raw totals the observability
+    layer exports against the Lemma 3 / Lemma 2 envelopes. *)
+
 val first_deciding_level : 'a t -> int option
 (** Quiescent: the smallest level at which no processor had an access
     failure, if any. *)

@@ -143,9 +143,12 @@ let run_cell ~shrink ~max_shrink_rounds subject plan =
     in
     Cell_fail ({ plan; message; schedule; shrunk_from = List.length decisions }, worst)
 
-let certify ?(shrink = true) ?(max_shrink_rounds = 200) ?(jobs = 1) subject plans =
+let certify ?(shrink = true) ?(max_shrink_rounds = 200) ?(jobs = 1) ?pool_stats subject
+    plans =
   let cells =
-    Hwf_par.Pool.map_list ~jobs (run_cell ~shrink ~max_shrink_rounds subject) plans
+    Hwf_par.Pool.map_list ~jobs ?stats:pool_stats
+      (run_cell ~shrink ~max_shrink_rounds subject)
+      plans
   in
   let passed = ref 0 and blocked = ref 0 and worst = ref 0 in
   let failures = ref [] in

@@ -80,7 +80,13 @@ val replay_judge : subject -> Plan.t -> Schedule.t -> verdict
     predicate behind shrinking. *)
 
 val certify :
-  ?shrink:bool -> ?max_shrink_rounds:int -> ?jobs:int -> subject -> Plan.t list -> report
+  ?shrink:bool ->
+  ?max_shrink_rounds:int ->
+  ?jobs:int ->
+  ?pool_stats:Hwf_par.Pool.stats ->
+  subject ->
+  Plan.t list ->
+  report
 (** Run and judge every plan. [shrink] (default [true]) minimizes each
     failing schedule. Deterministic: same subject, plans and seeds give
     the same report.
@@ -92,7 +98,11 @@ val certify :
     called once per plan, parallel or not) and shrinks its own failure
     by replaying only its own plan, so the report is identical to
     [~jobs:1] plan for plan, including the shrunk counterexample
-    schedules. *)
+    schedules.
+
+    [pool_stats] (off by default) accumulates the domain pool's
+    occupancy counters for [hybridsim stats]; it never affects the
+    report. *)
 
 val certified : report -> bool
 (** No failures. *)

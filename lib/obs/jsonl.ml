@@ -1,0 +1,194 @@
+open Hwf_sim
+
+(* Minimal JSON emission — no dependency beyond the stdlib. Every
+   emitted value is an object on one line; see docs/OBSERVABILITY.md for
+   the schema. Field order is fixed, so equal inputs give byte-equal
+   output (the determinism the golden tests and the --jobs contract
+   rely on). *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | ch when Char.code ch < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char b ch)
+    s;
+  Buffer.contents b
+
+let str s = "\"" ^ escape s ^ "\""
+let bool b = if b then "true" else "false"
+
+let obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
+
+(* ---- traces ---- *)
+
+let trace_schema = "hwf-trace/1"
+let metrics_schema = "hwf-metrics/1"
+
+let config_fields (config : Config.t) =
+  [
+    ("n", string_of_int (Config.n config));
+    ("processors", string_of_int config.Config.processors);
+    ("quantum", string_of_int config.Config.quantum);
+    ("levels", string_of_int config.Config.levels);
+    ("axiom2", bool config.Config.axiom2);
+    ("tmin", string_of_int config.Config.tmin);
+    ("tmax", string_of_int config.Config.tmax);
+  ]
+
+let trace_header config = obj (("schema", str trace_schema) :: config_fields config)
+
+let op_json (op : Op.t) =
+  match op with
+  | Op.Read v -> obj [ ("kind", str "read"); ("var", str v) ]
+  | Op.Write v -> obj [ ("kind", str "write"); ("var", str v) ]
+  | Op.Rmw { var; kind } -> obj [ ("kind", str "rmw"); ("var", str var); ("rmw", str kind) ]
+  | Op.Local l -> obj [ ("kind", str "local"); ("label", str l) ]
+
+let event (e : Trace.event) =
+  match e with
+  | Trace.Stmt { idx; pid; op; inv; cost } ->
+    obj
+      [
+        ("ev", str "stmt");
+        ("idx", string_of_int idx);
+        ("pid", string_of_int pid);
+        ("inv", string_of_int inv);
+        ("cost", string_of_int cost);
+        ("op", op_json op);
+      ]
+  | Trace.Inv_begin { pid; inv; label } ->
+    obj
+      [
+        ("ev", str "inv_begin");
+        ("pid", string_of_int pid);
+        ("inv", string_of_int inv);
+        ("label", str label);
+      ]
+  | Trace.Inv_end { pid; inv; label } ->
+    obj
+      [
+        ("ev", str "inv_end");
+        ("pid", string_of_int pid);
+        ("inv", string_of_int inv);
+        ("label", str label);
+      ]
+  | Trace.Note { pid; text } ->
+    obj [ ("ev", str "note"); ("pid", string_of_int pid); ("text", str text) ]
+  | Trace.Set_priority { pid; priority } ->
+    obj
+      [
+        ("ev", str "set_priority");
+        ("pid", string_of_int pid);
+        ("priority", string_of_int priority);
+      ]
+  | Trace.Axiom2_gate { at; active } ->
+    obj [ ("ev", str "axiom2_gate"); ("at", string_of_int at); ("active", bool active) ]
+
+let trace_to_buffer buf trace =
+  Buffer.add_string buf (trace_header (Trace.config trace));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (event e);
+      Buffer.add_char buf '\n')
+    (Trace.events trace)
+
+let trace_to_string trace =
+  let buf = Buffer.create 4096 in
+  trace_to_buffer buf trace;
+  Buffer.contents buf
+
+(* ---- metrics ---- *)
+
+let metrics_header (m : Metrics.t) =
+  obj
+    [
+      ("schema", str metrics_schema);
+      ("n", string_of_int m.Metrics.n);
+      ("quantum", string_of_int m.Metrics.quantum);
+    ]
+
+let metrics_to_buffer buf (m : Metrics.t) =
+  let line fields =
+    Buffer.add_string buf (obj fields);
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf (metrics_header m);
+  Buffer.add_char buf '\n';
+  line
+    [
+      ("m", str "totals");
+      ("statements", string_of_int m.Metrics.statements);
+      ("time", string_of_int m.Metrics.time);
+      ("switches", string_of_int m.Metrics.switches);
+    ];
+  Array.iteri
+    (fun pid (s : Metrics.pid_stat) ->
+      line
+        [
+          ("m", str "pid");
+          ("pid", string_of_int pid);
+          ("statements", string_of_int s.Metrics.statements);
+          ("time", string_of_int s.Metrics.time);
+          ("invocations", string_of_int s.Metrics.invocations);
+          ("completed", string_of_int s.Metrics.completed);
+          ("same_preemptions", string_of_int s.Metrics.same_preemptions);
+          ("higher_preemptions", string_of_int s.Metrics.higher_preemptions);
+          ("priority_changes", string_of_int s.Metrics.priority_changes);
+          ("guarantee_grants", string_of_int s.Metrics.guarantee_grants);
+          ("protected_statements", string_of_int s.Metrics.protected_statements);
+        ])
+    m.Metrics.per_pid;
+  List.iter
+    (fun (i : Metrics.inv_stat) ->
+      line
+        [
+          ("m", str "inv");
+          ("pid", string_of_int i.Metrics.pid);
+          ("inv", string_of_int i.Metrics.inv);
+          ("label", str i.Metrics.label);
+          ("statements", string_of_int i.Metrics.statements);
+          ("time", string_of_int i.Metrics.time);
+          ("same_preemptions", string_of_int i.Metrics.same_preemptions);
+          ("higher_preemptions", string_of_int i.Metrics.higher_preemptions);
+          ("completed", bool i.Metrics.completed);
+        ])
+    m.Metrics.invocations;
+  List.iter
+    (fun (r : Metrics.bound_row) ->
+      line
+        (( "m", str "bound")
+        :: ("name", str r.Metrics.name)
+        :: ("measured", string_of_int r.Metrics.measured)
+        ::
+        (match r.Metrics.bound with
+        | None -> []
+        | Some b ->
+          [ ("bound", string_of_int b); ("margin", string_of_int (b - r.Metrics.measured)) ])))
+    m.Metrics.bounds;
+  List.iter
+    (fun (k, v) -> line [ ("m", str "harness"); ("key", str k); ("value", string_of_int v) ])
+    m.Metrics.harness
+
+let metrics_to_string m =
+  let buf = Buffer.create 2048 in
+  metrics_to_buffer buf m;
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_trace ~path trace = write_file path (trace_to_string trace)
+let write_metrics ~path m = write_file path (metrics_to_string m)

@@ -1,0 +1,36 @@
+(** Structured export: JSON-lines writers for traces and metrics.
+
+    One JSON object per line; the first line is a header object carrying
+    a ["schema"] tag ({!trace_schema} / {!metrics_schema}) plus the run
+    configuration, so a consumer can dispatch without sniffing. The
+    schema — field names, order, and which quantities are included — is
+    documented in [docs/OBSERVABILITY.md] and is stable: field order is
+    fixed, every value is an int, bool, string, or nested object, and no
+    floats or wall-clock quantities appear, so the bytes produced for a
+    given run are deterministic and identical across [--jobs] settings
+    (the same contract as the simulator itself). *)
+
+open Hwf_sim
+
+val trace_schema : string
+(** ["hwf-trace/1"]. *)
+
+val metrics_schema : string
+(** ["hwf-metrics/1"]. *)
+
+val event : Trace.event -> string
+(** One event as a single-line JSON object (no trailing newline). *)
+
+val trace_to_string : Trace.t -> string
+(** Header line + one {!event} line per event, each ['\n']-terminated. *)
+
+val metrics_to_string : Metrics.t -> string
+(** Header line, then ["totals"], per-pid, per-invocation, bound and
+    harness rows (in that order), each a one-line object tagged by its
+    ["m"] field. Bound rows without a bound omit the [bound]/[margin]
+    fields. *)
+
+val write_trace : path:string -> Trace.t -> unit
+(** [trace_to_string] to [path] (truncating). *)
+
+val write_metrics : path:string -> Metrics.t -> unit

@@ -1,0 +1,294 @@
+open Hwf_sim
+
+type inv_stat = {
+  pid : Proc.pid;
+  inv : int;
+  label : string;
+  statements : int;
+  time : int;
+  same_preemptions : int;
+  higher_preemptions : int;
+  completed : bool;
+}
+
+type pid_stat = {
+  statements : int;
+  time : int;
+  invocations : int;
+  completed : int;
+  same_preemptions : int;
+  higher_preemptions : int;
+  priority_changes : int;
+  guarantee_grants : int;
+  protected_statements : int;
+}
+
+type bound_row = { name : string; measured : int; bound : int option }
+
+type t = {
+  n : int;
+  quantum : int;
+  statements : int;
+  time : int;
+  switches : int;
+  per_pid : pid_stat array;
+  invocations : inv_stat list;
+  bounds : bound_row list;
+  harness : (string * int) list;
+}
+
+let margin r = match r.bound with None -> None | Some b -> Some (b - r.measured)
+
+let with_bounds t bounds = { t with bounds = t.bounds @ bounds }
+
+let with_harness t kvs = { t with harness = t.harness @ kvs }
+
+(* ---- incremental collection ---- *)
+
+(* Per-pid shadow of the engine's scheduling state, advanced one event
+   at a time. The preemption-classification rules are exactly those of
+   {!Hwf_sim.Analysis} (a preemption is a maximal gap between two
+   statements of an open invocation, classified by the strongest foreign
+   priority that ran in the gap); the quantum accounting mirrors the
+   engine (a pending process is granted [Q] protected statements when it
+   resumes; [Inv_end] and an Axiom-2 re-activation reset guarantees). *)
+type acc = {
+  mutable priority : int;
+  mutable open_ : bool;
+  mutable label : string;
+  mutable inv : int;
+  mutable inv_statements : int;
+  mutable inv_time : int;
+  mutable inv_same : int;
+  mutable inv_higher : int;
+  mutable gap : [ `None | `Same | `Higher ];
+  mutable pending : bool;
+  mutable guarantee : int;
+  (* running per-pid totals *)
+  mutable statements : int;
+  mutable time : int;
+  mutable invocations : int;
+  mutable completed : int;
+  mutable same : int;
+  mutable higher : int;
+  mutable priority_changes : int;
+  mutable grants : int;
+  mutable protected_ : int;
+}
+
+type collector = {
+  config : Config.t;
+  accs : acc array;
+  mutable c_statements : int;
+  mutable c_time : int;
+  mutable c_switches : int;
+  mutable last_pid : int;
+  mutable closed : inv_stat list;  (* reverse close order *)
+}
+
+let collector config =
+  let n = Config.n config in
+  {
+    config;
+    accs =
+      Array.init n (fun pid ->
+          {
+            priority = config.Config.procs.(pid).Proc.priority;
+            open_ = false;
+            label = "";
+            inv = 0;
+            inv_statements = 0;
+            inv_time = 0;
+            inv_same = 0;
+            inv_higher = 0;
+            gap = `None;
+            pending = false;
+            guarantee = 0;
+            statements = 0;
+            time = 0;
+            invocations = 0;
+            completed = 0;
+            same = 0;
+            higher = 0;
+            priority_changes = 0;
+            grants = 0;
+            protected_ = 0;
+          });
+    c_statements = 0;
+    c_time = 0;
+    c_switches = 0;
+    last_pid = -1;
+    closed = [];
+  }
+
+let close_inv c pid completed =
+  let a = c.accs.(pid) in
+  if a.open_ then begin
+    c.closed <-
+      {
+        pid;
+        inv = a.inv;
+        label = a.label;
+        statements = a.inv_statements;
+        time = a.inv_time;
+        same_preemptions = a.inv_same;
+        higher_preemptions = a.inv_higher;
+        completed;
+      }
+      :: c.closed;
+    if completed then a.completed <- a.completed + 1;
+    a.open_ <- false;
+    a.pending <- false;
+    a.guarantee <- 0
+  end
+
+let feed c (e : Trace.event) =
+  let config = c.config in
+  let n = Array.length c.accs in
+  let processor pid = config.Config.procs.(pid).Proc.processor in
+  match e with
+  | Trace.Inv_begin { pid; inv; label } ->
+    let a = c.accs.(pid) in
+    a.open_ <- true;
+    a.label <- label;
+    a.inv <- inv;
+    a.inv_statements <- 0;
+    a.inv_time <- 0;
+    a.inv_same <- 0;
+    a.inv_higher <- 0;
+    a.gap <- `None;
+    a.invocations <- a.invocations + 1
+  | Trace.Inv_end { pid; _ } -> close_inv c pid true
+  | Trace.Note _ -> ()
+  | Trace.Set_priority { pid; priority } ->
+    let a = c.accs.(pid) in
+    a.priority <- priority;
+    a.priority_changes <- a.priority_changes + 1
+  | Trace.Axiom2_gate { active; _ } ->
+    (* Re-activation starts enforcement fresh (engine rule): stale
+       guarantees are dropped. *)
+    if active then Array.iter (fun a -> a.guarantee <- 0) c.accs
+  | Trace.Stmt { pid; cost; _ } ->
+    if c.last_pid >= 0 && c.last_pid <> pid then c.c_switches <- c.c_switches + 1;
+    c.last_pid <- pid;
+    c.c_statements <- c.c_statements + 1;
+    c.c_time <- c.c_time + cost;
+    let a = c.accs.(pid) in
+    if a.pending then begin
+      a.pending <- false;
+      a.grants <- a.grants + 1;
+      a.guarantee <- config.Config.quantum
+    end;
+    if a.guarantee > 0 then a.protected_ <- a.protected_ + 1;
+    a.guarantee <- max 0 (a.guarantee - cost);
+    a.statements <- a.statements + 1;
+    a.time <- a.time + cost;
+    if a.open_ then begin
+      (match a.gap with
+      | `None -> ()
+      | `Same ->
+        a.inv_same <- a.inv_same + 1;
+        a.same <- a.same + 1
+      | `Higher ->
+        a.inv_higher <- a.inv_higher + 1;
+        a.higher <- a.higher + 1);
+      a.gap <- `None;
+      a.inv_statements <- a.inv_statements + 1;
+      a.inv_time <- a.inv_time + cost
+    end;
+    for q = 0 to n - 1 do
+      if q <> pid && processor q = processor pid then begin
+        let b = c.accs.(q) in
+        if b.open_ then b.pending <- true;
+        if b.open_ && b.inv_statements > 0 then begin
+          let cls = if a.priority > b.priority then `Higher else `Same in
+          match (b.gap, cls) with
+          | `Higher, _ -> ()
+          | _, `Higher -> b.gap <- `Higher
+          | _, `Same -> b.gap <- `Same
+        end
+      end
+    done
+
+let finish c =
+  for pid = 0 to Array.length c.accs - 1 do
+    close_inv c pid false
+  done;
+  {
+    n = Array.length c.accs;
+    quantum = c.config.Config.quantum;
+    statements = c.c_statements;
+    time = c.c_time;
+    switches = c.c_switches;
+    per_pid =
+      Array.map
+        (fun a ->
+          {
+            statements = a.statements;
+            time = a.time;
+            invocations = a.invocations;
+            completed = a.completed;
+            same_preemptions = a.same;
+            higher_preemptions = a.higher;
+            priority_changes = a.priority_changes;
+            guarantee_grants = a.grants;
+            protected_statements = a.protected_;
+          })
+        c.accs;
+    invocations = List.rev c.closed;
+    bounds = [];
+    harness = [];
+  }
+
+let of_trace trace =
+  let c = collector (Trace.config trace) in
+  List.iter (feed c) (Trace.events trace);
+  finish c
+
+let quantum_utilization t pid =
+  let s = t.per_pid.(pid) in
+  if s.guarantee_grants = 0 || t.quantum = 0 then None
+  else Some (float_of_int s.protected_statements /. float_of_int (s.guarantee_grants * t.quantum))
+
+(* ---- rendering ---- *)
+
+let pp_bound_row ppf r =
+  match r.bound with
+  | None -> Fmt.pf ppf "%-28s %8d %8s %8s" r.name r.measured "-" "-"
+  | Some b -> Fmt.pf ppf "%-28s %8d %8d %8d" r.name r.measured b (b - r.measured)
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "@[<v>";
+  Fmt.pf ppf "statements: %d  time: %d  switches: %d  quantum: %d@," t.statements t.time
+    t.switches t.quantum;
+  Fmt.pf ppf "@,%-5s %6s %6s %5s %5s %5s %6s %6s %6s %6s %6s@," "pid" "stmts" "time"
+    "invs" "done" "churn" "sameP" "highP" "grants" "prot" "util";
+  Array.iteri
+    (fun pid (s : pid_stat) ->
+      Fmt.pf ppf "p%-4d %6d %6d %5d %5d %5d %6d %6d %6d %6d %6s@," (pid + 1) s.statements
+        s.time s.invocations s.completed s.priority_changes s.same_preemptions
+        s.higher_preemptions s.guarantee_grants s.protected_statements
+        (match quantum_utilization t pid with
+        | None -> "-"
+        | Some u -> Printf.sprintf "%.2f" u))
+    t.per_pid;
+  (match t.invocations with
+  | [] -> ()
+  | invs ->
+    let worst_stmts =
+      List.fold_left (fun acc (i : inv_stat) -> max acc i.statements) 0 invs
+    in
+    let worst_time = List.fold_left (fun acc (i : inv_stat) -> max acc i.time) 0 invs in
+    Fmt.pf ppf "@,invocations: %d (worst latency: %d statements, %d time units)@,"
+      (List.length invs) worst_stmts worst_time);
+  (match t.bounds with
+  | [] -> ()
+  | bounds ->
+    Fmt.pf ppf "@,%-28s %8s %8s %8s@," "bound" "measured" "bound" "margin";
+    List.iter (fun r -> Fmt.pf ppf "%a@," pp_bound_row r) bounds);
+  (match t.harness with
+  | [] -> ()
+  | kvs ->
+    Fmt.pf ppf "@,harness counters:@,";
+    List.iter (fun (k, v) -> Fmt.pf ppf "  %-28s %d@," k v) kvs);
+  Fmt.pf ppf "@]"

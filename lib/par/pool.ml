@@ -1,5 +1,27 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
+type stats = {
+  claims : int Atomic.t;
+  evaluated : int Atomic.t;
+  skipped : int Atomic.t;
+  per_worker : int Atomic.t array;
+}
+
+let make_stats ~jobs =
+  if jobs < 1 then invalid_arg "Pool.make_stats: jobs must be >= 1";
+  {
+    claims = Atomic.make 0;
+    evaluated = Atomic.make 0;
+    skipped = Atomic.make 0;
+    per_worker = Array.init jobs (fun _ -> Atomic.make 0);
+  }
+
+let stats_claims s = Atomic.get s.claims
+let stats_evaluated s = Atomic.get s.evaluated
+let stats_skipped s = Atomic.get s.skipped
+let stats_per_worker s = Array.map Atomic.get s.per_worker
+let bump a k = ignore (Atomic.fetch_and_add a k)
+
 (* Record the minimum-index failure; CAS loop because two domains may
    fail concurrently. *)
 let rec note_error err idx e =
@@ -8,39 +30,70 @@ let rec note_error err idx e =
   | cur ->
     if not (Atomic.compare_and_set err cur (Some (idx, e))) then note_error err idx e
 
-let map ?jobs ?(batch = 1) f a =
+let map ?jobs ?(batch = 1) ?stats f a =
   let n = Array.length a in
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if batch < 1 then invalid_arg "Pool.map: batch must be >= 1";
   if n = 0 then [||]
-  else if jobs <= 1 || n = 1 then Array.map f a
+  else if jobs <= 1 || n = 1 then begin
+    (match stats with
+    | None -> ()
+    | Some s ->
+      bump s.claims 1;
+      bump s.evaluated n;
+      bump s.per_worker.(0) n);
+    Array.map f a
+  end
   else begin
     let out = Array.make n None in
     let next = Atomic.make 0 in
     let err = Atomic.make None in
-    let worker () =
+    let worker wid () =
+      (* Counters are worker-local refs, flushed to [stats] once on
+         retirement: no shared-counter traffic in the claim loop, and
+         nothing at all touched when [stats] is absent. *)
+      let claims = ref 0 and evaluated = ref 0 and skipped = ref 0 in
       let live = ref true in
       while !live do
         let lo = Atomic.fetch_and_add next batch in
         if lo >= n then live := false
-        else
+        else begin
+          incr claims;
           for i = lo to min n (lo + batch) - 1 do
-            (* No early exit on error: every cell is evaluated so the
-               re-raised exception is the minimum-index one regardless
-               of how domains interleaved. *)
-            match f a.(i) with
-            | v -> out.(i) <- Some v
-            | exception e -> note_error err i e
+            (* A recorded error at index [j] makes every cell with a
+               higher index dead: the output array is discarded once
+               [err] is set, and only a lower-index failure can replace
+               [j] in [note_error]. Skipping those cells still re-raises
+               the minimum-index exception regardless of how domains
+               interleaved, without evaluating work whose result cannot
+               be observed. *)
+            match Atomic.get err with
+            | Some (j, _) when i > j -> incr skipped
+            | _ -> (
+              incr evaluated;
+              match f a.(i) with
+              | v -> out.(i) <- Some v
+              | exception e -> note_error err i e)
           done
-      done
+        end
+      done;
+      match stats with
+      | None -> ()
+      | Some s ->
+        bump s.claims !claims;
+        bump s.evaluated !evaluated;
+        bump s.skipped !skipped;
+        bump s.per_worker.(min wid (Array.length s.per_worker - 1)) !evaluated
     in
-    let spawned = Array.init (min (jobs - 1) (n - 1)) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let spawned =
+      Array.init (min (jobs - 1) (n - 1)) (fun i -> Domain.spawn (worker (i + 1)))
+    in
+    worker 0 ();
     Array.iter Domain.join spawned;
     match Atomic.get err with
     | Some (_, e) -> raise e
     | None -> Array.map (function Some v -> v | None -> assert false) out
   end
 
-let map_list ?jobs ?batch f l =
-  Array.to_list (map ?jobs ?batch f (Array.of_list l))
+let map_list ?jobs ?batch ?stats f l =
+  Array.to_list (map ?jobs ?batch ?stats f (Array.of_list l))

@@ -21,13 +21,46 @@
 
     Exceptions: if any cell raises, [map] re-raises the exception of the
     {e lowest} failing index after all workers retire — again the
-    sequential behaviour, independent of interleaving. *)
+    sequential behaviour, independent of interleaving. Once an error is
+    recorded, cells with a {e higher} index are skipped rather than
+    evaluated: their results could never be observed (the output array is
+    discarded) and only a lower-index failure can displace the recorded
+    one, so skipping preserves the minimum-index contract. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the pool width used by the
     CLI's [--jobs] default. *)
 
-val map : ?jobs:int -> ?batch:int -> ('a -> 'b) -> 'a array -> 'b array
+type stats
+(** Accumulating occupancy counters for {!map}. Off by default: a [map]
+    without [?stats] touches no shared counters (workers keep local
+    counts and the flush is skipped). A single [stats] value may be
+    threaded through many [map] calls; counters only ever grow.
+
+    The counts depend on how domains raced for the shared counter, so
+    they are {e display-only} diagnostics — never part of a
+    deterministic result or a JSONL export. *)
+
+val make_stats : jobs:int -> stats
+(** [jobs] sizes the per-worker histogram (worker 0 is the calling
+    domain). @raise Invalid_argument if [jobs < 1]. *)
+
+val stats_claims : stats -> int
+(** Batch claims (counter increments) across all workers. *)
+
+val stats_evaluated : stats -> int
+(** Cells actually evaluated. *)
+
+val stats_skipped : stats -> int
+(** Cells skipped because an error with a lower index was already
+    recorded. *)
+
+val stats_per_worker : stats -> int array
+(** Cells evaluated per worker slot — the pool's load-balance picture.
+    Workers beyond the [jobs] given to {!make_stats} fold into the last
+    slot. *)
+
+val map : ?jobs:int -> ?batch:int -> ?stats:stats -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs ~batch f a] evaluates [f] on every element of [a] using
     up to [jobs] domains (default {!default_jobs}; [jobs <= 1] or a
     short array runs inline with no domains spawned) claiming [batch]
@@ -35,5 +68,5 @@ val map : ?jobs:int -> ?batch:int -> ('a -> 'b) -> 'a array -> 'b array
     like whole engine runs, where one claim per cell is noise; raise it
     only for micro-cells). Result slot [i] is [f a.(i)]. *)
 
-val map_list : ?jobs:int -> ?batch:int -> ('a -> 'b) -> 'a list -> 'b list
+val map_list : ?jobs:int -> ?batch:int -> ?stats:stats -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over a list, preserving order. *)

@@ -30,12 +30,13 @@ type cell = {
   mutable guarantee : int;  (* remaining protected statements (Axiom 2) *)
 }
 
-let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ~(config : Config.t)
-    ~(policy : Policy.t) programs =
+let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
+    ~(config : Config.t) ~(policy : Policy.t) programs =
   let n = Config.n config in
   if Array.length programs <> n then
     invalid_arg "Engine.run: program count <> process count";
   let trace = Trace.create config in
+  (match observer with None -> () | Some f -> Trace.set_observer trace f);
   let cost_of =
     match cost with
     | None -> fun _view _pid _op -> config.tmin

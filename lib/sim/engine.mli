@@ -57,6 +57,7 @@ val run :
   ?cost:(Policy.view -> Proc.pid -> Op.t -> int) ->
   ?halted:(Policy.pview -> bool) ->
   ?axiom2_active:(step:int -> bool) ->
+  ?observer:(Trace.event -> unit) ->
   config:Config.t ->
   policy:Policy.t ->
   (unit -> unit) array ->
@@ -94,6 +95,12 @@ val run :
     gate is off. This models a scheduler that intermittently violates
     Axiom 2 — the paper's Sec. 2 degradation, used as a fault plan and
     as the negative control of the wait-freedom certifier.
+
+    [observer] is installed on the run's trace ({!Trace.set_observer})
+    before any process is launched, so it sees every event in append
+    order. It is the engine-level entry point of the observability
+    layer ({!Hwf_obs.Metrics} collectors); when absent, the only cost
+    is one [match] per trace event.
 
     @raise Invalid_argument if the program count differs from the process
     count.

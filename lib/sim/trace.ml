@@ -6,19 +6,40 @@ type event =
   | Set_priority of { pid : Proc.pid; priority : int }
   | Axiom2_gate of { at : int; active : bool }
 
-type t = { config : Config.t; events : event Vec.t; mutable stmts : int; mutable time : int }
+type t = {
+  config : Config.t;
+  events : event Vec.t;
+  mutable stmts : int;
+  mutable time : int;
+  own : int array;  (* per-pid statement counts, maintained incrementally *)
+  mutable observer : (event -> unit) option;
+}
 
-let create config = { config; events = Vec.create (); stmts = 0; time = 0 }
+let create config =
+  {
+    config;
+    events = Vec.create ();
+    stmts = 0;
+    time = 0;
+    own = Array.make (Config.n config) 0;
+    observer = None;
+  }
 
 let config t = t.config
 
+let set_observer t f = t.observer <- Some f
+
+let clear_observer t = t.observer <- None
+
 let add t e =
   (match e with
-  | Stmt { cost; _ } ->
+  | Stmt { pid; cost; _ } ->
     t.stmts <- t.stmts + 1;
-    t.time <- t.time + cost
+    t.time <- t.time + cost;
+    t.own.(pid) <- t.own.(pid) + 1
   | _ -> ());
-  Vec.push t.events e
+  Vec.push t.events e;
+  match t.observer with None -> () | Some f -> f e
 
 let events t = Vec.to_list t.events
 
@@ -29,9 +50,8 @@ let statements t = t.stmts
 let time t = t.time
 
 let own_statements t pid =
-  Vec.fold_left
-    (fun acc e -> match e with Stmt s when s.pid = pid -> acc + 1 | _ -> acc)
-    0 t.events
+  if pid < 0 || pid >= Array.length t.own then invalid_arg "Trace.own_statements";
+  t.own.(pid)
 
 let pp_event ppf = function
   | Stmt { idx; pid; op; inv; cost } ->

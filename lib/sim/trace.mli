@@ -31,6 +31,16 @@ val create : Config.t -> t
 
 val config : t -> Config.t
 
+val set_observer : t -> (event -> unit) -> unit
+(** Install a sink that sees every event as it is appended (after the
+    trace's own bookkeeping). At most one observer is active; installing
+    replaces the previous one. The hook is nullable-by-default: when no
+    observer is installed, {!add} pays a single [match] — this is the
+    zero-overhead guard the observability layer ({!Hwf_obs.Metrics})
+    relies on. *)
+
+val clear_observer : t -> unit
+
 val add : t -> event -> unit
 
 val events : t -> event list
@@ -45,6 +55,9 @@ val time : t -> int
 (** Total time units consumed (equals [statements] when all costs are 1). *)
 
 val own_statements : t -> Proc.pid -> int
+(** Statements executed by [pid], maintained incrementally on {!add}
+    (O(1), not a refold of the event vector).
+    @raise Invalid_argument if [pid] is outside the configuration. *)
 
 val pp_event : event Fmt.t
 

@@ -77,14 +77,18 @@ type mc_summary = {
   access_failures : (int * int) list;
   af_same : (int * int) list;
   af_diff : (int * int) list;
+  af_same_events : int;
+  af_diff_events : int;
   deciding_level : int option;
   levels : int;
   statements : int;
   max_own_steps : int;
   well_formed : bool;
+  trace : Trace.t;
 }
 
-let run_multi ?(step_limit = 3_000_000) ~quantum ~consensus_number ~layout ~policy () =
+let run_multi ?(step_limit = 3_000_000) ?observer ~quantum ~consensus_number ~layout
+    ~policy () =
   let n = List.length layout in
   let config = Layout.to_config ~quantum layout in
   let obj = Multi_consensus.make ~config ~name:"mc" ~consensus_number () in
@@ -94,9 +98,10 @@ let run_multi ?(step_limit = 3_000_000) ~quantum ~consensus_number ~layout ~poli
         Eff.invocation "decide" (fun () ->
             outputs.(pid) <- Some (Multi_consensus.decide obj ~pid (100 + pid))))
   in
-  let r = Engine.run ~step_limit ~config ~policy programs in
+  let r = Engine.run ~step_limit ?observer ~config ~policy programs in
   let outs = Array.to_list outputs |> List.filter_map Fun.id in
   let distinct = List.sort_uniq compare outs in
+  let af_same_events, af_diff_events = Multi_consensus.access_failure_events obj in
   {
     finished = all_finished r;
     agreed = List.length distinct <= 1;
@@ -105,11 +110,14 @@ let run_multi ?(step_limit = 3_000_000) ~quantum ~consensus_number ~layout ~poli
     access_failures = Multi_consensus.access_failures obj;
     af_same = fst (Multi_consensus.access_failures_classified obj);
     af_diff = snd (Multi_consensus.access_failures_classified obj);
+    af_same_events;
+    af_diff_events;
     deciding_level = Multi_consensus.first_deciding_level obj;
     levels = Multi_consensus.levels obj;
     statements = Trace.statements r.trace;
     max_own_steps = Array.fold_left max 0 r.own_steps;
     well_formed = Wellformed.is_well_formed r.trace;
+    trace = r.trace;
   }
 
 let adversarial_policies ~seeds ~var_prefix =
@@ -190,6 +198,45 @@ let hybrid_cas ~name ~quantum ~layout ~script =
     Explore.{ programs; check }
   in
   Explore.{ name; config; make }
+
+type cas_summary = {
+  cas_finished : bool;
+  linearizable : bool;
+  cas_stats : Hybrid_cas.stats;
+  cas_well_formed : bool;
+  cas_trace : Trace.t;
+}
+
+let run_cas ?(step_limit = 3_000_000) ?observer ~quantum ~layout ~script ~policy () =
+  if Layout.processors layout <> 1 then
+    invalid_arg "Scenarios.run_cas: uniprocessor layout required";
+  let n = List.length layout in
+  if List.length script <> n then invalid_arg "Scenarios.run_cas: script/layout mismatch";
+  let config = Layout.to_config ~quantum layout in
+  let obj = Hybrid_cas.make ~config ~name:"cas.o" ~init:0 in
+  let hist = Hist.create () in
+  let programs =
+    Array.init n (fun pid () ->
+        List.iter
+          (fun op ->
+            Eff.invocation "op" (fun () ->
+                match op with
+                | Cas (e, d) ->
+                  ignore
+                    (Hist.wrap hist ~pid op (fun () ->
+                         `Bool (Hybrid_cas.cas obj ~pid ~expected:e ~desired:d)))
+                | Rd ->
+                  ignore (Hist.wrap hist ~pid op (fun () -> `Val (Hybrid_cas.read obj ~pid)))))
+          (List.nth script pid))
+  in
+  let r = Engine.run ~step_limit ?observer ~config ~policy programs in
+  {
+    cas_finished = all_finished r;
+    linearizable = Lincheck.check_hist cas_spec hist = Ok ();
+    cas_stats = Hybrid_cas.stats obj;
+    cas_well_formed = Wellformed.is_well_formed r.trace;
+    cas_trace = r.trace;
+  }
 
 let q_cas ~name ~quantum ~n ~script =
   if List.length script <> n then invalid_arg "Scenarios.q_cas: script length mismatch";

@@ -42,15 +42,21 @@ type mc_summary = {
   access_failures : (int * int) list;
   af_same : (int * int) list;  (** Same-priority access failures. *)
   af_diff : (int * int) list;  (** Different-priority access failures. *)
+  af_same_events : int;
+      (** Total same-priority AF observations (every event, not just
+          distinct sites) — reported against the Lemma 3 envelope. *)
+  af_diff_events : int;  (** Total different-priority AF observations. *)
   deciding_level : int option;
   levels : int;  (** The instance's [L]. *)
   statements : int;  (** Total statements of the run. *)
   max_own_steps : int;  (** Worst per-process statement count. *)
   well_formed : bool;
+  trace : Hwf_sim.Trace.t;  (** The full history, for structured export. *)
 }
 
 val run_multi :
   ?step_limit:int ->
+  ?observer:(Hwf_sim.Trace.event -> unit) ->
   quantum:int ->
   consensus_number:int ->
   layout:Layout.t ->
@@ -58,7 +64,8 @@ val run_multi :
   unit ->
   mc_summary
 (** One Fig. 7 consensus execution under [policy], with the measurements
-    used by experiments E1 and E5–E7. *)
+    used by experiments E1 and E5–E7. [observer] is passed through to
+    {!Hwf_sim.Engine.run} (live metrics collection). *)
 
 val adversarial_policies :
   seeds:int list -> var_prefix:string -> (unit -> Hwf_sim.Policy.t) list
@@ -91,6 +98,30 @@ val hybrid_cas :
   Explore.scenario
 (** Fig. 5 object exercised by [script]; verdict = all finished and the
     recorded history is linearizable against the sequential C&S spec.
+    The layout must be uniprocessor. *)
+
+type cas_summary = {
+  cas_finished : bool;
+  linearizable : bool;
+  cas_stats : Hwf_core.Hybrid_cas.stats;
+      (** The Fig. 5 access-failure tap, for measured-vs-Lemma-2
+          reporting. *)
+  cas_well_formed : bool;
+  cas_trace : Hwf_sim.Trace.t;
+}
+
+val run_cas :
+  ?step_limit:int ->
+  ?observer:(Hwf_sim.Trace.event -> unit) ->
+  quantum:int ->
+  layout:Layout.t ->
+  script:cas_op list list ->
+  policy:Hwf_sim.Policy.t ->
+  unit ->
+  cas_summary
+(** One Fig. 5 C&S/read execution under [policy] — the one-shot
+    counterpart of {!hybrid_cas} that keeps the object visible so its
+    {!Hwf_core.Hybrid_cas.stats} can be reported ([hybridsim stats]).
     The layout must be uniprocessor. *)
 
 val q_cas :

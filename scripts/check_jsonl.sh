@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# JSONL schema sanity check for the hwf-trace/1 and hwf-metrics/1
+# exports (docs/OBSERVABILITY.md): every line must parse as a JSON
+# object; the first line must carry the "schema" key; every subsequent
+# line must be discriminated by "ev" (trace) or "m" (metrics),
+# matching the schema the header declared.
+set -u
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: $0 FILE.jsonl ..." >&2
+  exit 2
+fi
+
+fail=0
+for f in "$@"; do
+  if ! out=$(python3 - "$f" <<'EOF'
+import json, sys
+
+path = sys.argv[1]
+with open(path, "r", encoding="utf-8") as fh:
+    lines = fh.read().splitlines()
+if not lines:
+    sys.exit(f"{path}: empty file")
+
+try:
+    head = json.loads(lines[0])
+except json.JSONDecodeError as e:
+    sys.exit(f"{path}: line 1 is not valid JSON: {e}")
+if not isinstance(head, dict):
+    sys.exit(f"{path}: line 1 is not a JSON object")
+schema = head.get("schema")
+if schema not in ("hwf-trace/1", "hwf-metrics/1"):
+    sys.exit(f"{path}: line 1 has no known schema (got {schema!r})")
+key = "ev" if schema == "hwf-trace/1" else "m"
+
+for i, line in enumerate(lines[1:], start=2):
+    try:
+        row = json.loads(line)
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: line {i} is not valid JSON: {e}")
+    if not isinstance(row, dict) or key not in row:
+        sys.exit(f"{path}: line {i} lacks the {key!r} discriminator")
+
+print(f"{path}: OK ({schema}, {len(lines) - 1} rows)")
+EOF
+  ); then
+    echo "$out" >&2
+    fail=1
+  else
+    echo "$out"
+  fi
+done
+exit "$fail"

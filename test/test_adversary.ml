@@ -192,6 +192,25 @@ let test_shrink_minimizes () =
         Util.checkb "locally minimal" (Schedule.verdict b.scenario cand = Ok ()))
       small
 
+(* S3 regression: [chunk_pass] must pick the next chunk size against the
+   list as it is after the pass, not the stale pre-pass length. With
+   [fails = mem 10] over [0..10], the size-5 pass collapses the list to
+   the single needed element; against the stale length 11 the old code
+   then scheduled a size-2 pass over that one-element list, burning a
+   shrink-budget call on an empty-list candidate. We pin both the
+   minimal result and the exact (deterministic) predicate-call count. *)
+let test_shrink_chunk_size_not_stale () =
+  let calls = ref 0 in
+  let fails cand =
+    incr calls;
+    List.mem 10 cand
+  in
+  let small = Shrink.shrink_by ~fails (List.init 11 Fun.id) in
+  Alcotest.(check (list int)) "minimal" [ 10 ] small;
+  (* 1 initial check + 3 chunk-phase calls + 1 singles-phase call; the
+     stale-length bug added a wasted empty-candidate call. *)
+  Util.checki "no budget wasted on oversized chunks" 5 !calls
+
 let test_shrink_noop_on_passing () =
   let b = fig3 ~quantum:8 ~pris:[ 1; 1 ] in
   let passing = [ 0; 0; 0; 1 ] in
@@ -244,6 +263,8 @@ let () =
       ( "shrink",
         [
           Alcotest.test_case "minimizes" `Quick test_shrink_minimizes;
+          Alcotest.test_case "chunk size not stale" `Quick
+            test_shrink_chunk_size_not_stale;
           Alcotest.test_case "noop on passing" `Quick test_shrink_noop_on_passing;
         ] );
       ( "bivalence",

@@ -1,0 +1,134 @@
+(* The observability layer: JSONL schema stability (golden files),
+   byte-determinism of exports across --jobs settings (the S4
+   acceptance criterion), and agreement between live observer-fed
+   metrics and post-hoc reconstruction from a trace.
+
+   Promoting new goldens after an intentional schema change:
+     HWF_GOLDEN_PROMOTE=1 dune exec test/test_obs.exe
+   from the repository root, then review the diff of test/golden/. *)
+
+open Hwf_sim
+open Hwf_workload
+open Hwf_adversary
+
+(* The canonical demo run shared with `bench/main.exe --trace-out`:
+   Fig. 3 consensus, quantum 8, two equal-priority processes, first-fit
+   policy — fully deterministic, no seeds involved. *)
+let demo_run () =
+  let layout = [ (0, 1); (0, 1) ] in
+  let config = Layout.to_config ~quantum:8 layout in
+  let b = Scenarios.consensus ~name:"golden" ~impl:Scenarios.Fig3 ~quantum:8 ~layout in
+  let inst = b.Scenarios.scenario.Explore.make () in
+  let collector = Hwf_obs.Metrics.collector config in
+  let r =
+    Engine.run ~step_limit:1_000_000
+      ~observer:(Hwf_obs.Metrics.feed collector)
+      ~config ~policy:Policy.first inst.Explore.programs
+  in
+  (r, collector)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let golden_trace = "golden/fig3_trace.jsonl"
+let golden_metrics = "golden/fig3_metrics.jsonl"
+
+let test_golden_trace () =
+  let r, _ = demo_run () in
+  Alcotest.(check string)
+    "trace export matches the golden file (schema hwf-trace/1)"
+    (read_file golden_trace)
+    (Hwf_obs.Jsonl.trace_to_string r.Engine.trace)
+
+let test_golden_metrics () =
+  let _, collector = demo_run () in
+  Alcotest.(check string)
+    "metrics export matches the golden file (schema hwf-metrics/1)"
+    (read_file golden_metrics)
+    (Hwf_obs.Jsonl.metrics_to_string (Hwf_obs.Metrics.finish collector))
+
+(* S4: the CLI's explore export path — replay of a schedule-deterministic
+   decision sequence — must produce identical bytes whatever the worker
+   count of the search that preceded it. *)
+let test_jobs_determinism () =
+  let b =
+    Scenarios.consensus ~name:"golden" ~impl:Scenarios.Fig3 ~quantum:8
+      ~layout:[ (0, 1); (0, 1) ]
+  in
+  let export jobs =
+    let o = Explore.explore ~max_runs:5_000 ~jobs b.Scenarios.scenario in
+    let schedule =
+      match o.Explore.counterexample with
+      | Some c -> c.Explore.decisions
+      | None -> []
+    in
+    let result, _ = Schedule.replay b.Scenarios.scenario schedule in
+    let m = Hwf_obs.Metrics.of_trace result.Engine.trace in
+    let m =
+      Hwf_obs.Metrics.with_harness m
+        [
+          ("explore.runs", o.Explore.runs);
+          ("explore.exhaustive", if o.Explore.exhaustive then 1 else 0);
+        ]
+    in
+    ( Hwf_obs.Jsonl.trace_to_string result.Engine.trace,
+      Hwf_obs.Jsonl.metrics_to_string m )
+  in
+  let t1, m1 = export 1 in
+  let t4, m4 = export 4 in
+  Alcotest.(check string) "trace bytes identical for --jobs 1 vs --jobs 4" t1 t4;
+  Alcotest.(check string) "metrics bytes identical for --jobs 1 vs --jobs 4" m1 m4
+
+(* Live collection through the observer hook and post-hoc reconstruction
+   from the recorded trace must agree exactly. *)
+let test_feed_vs_of_trace () =
+  let r, collector = demo_run () in
+  Alcotest.(check string)
+    "observer-fed metrics equal Metrics.of_trace"
+    (Hwf_obs.Jsonl.metrics_to_string (Hwf_obs.Metrics.of_trace r.Engine.trace))
+    (Hwf_obs.Jsonl.metrics_to_string (Hwf_obs.Metrics.finish collector))
+
+(* The escaper: variable names with JSON-hostile characters must still
+   produce parseable lines (checked here by exact expected output). *)
+let test_escaping () =
+  let config = Util.uni_config ~quantum:4 [ 1 ] in
+  let x = Shared.make "quote\"back\\slash\ttab" 0 in
+  let body () = Eff.invocation "op" (fun () -> ignore (Shared.read x)) in
+  let r = Engine.run ~config ~policy:Policy.first [| body |] in
+  let s = Hwf_obs.Jsonl.trace_to_string r.Engine.trace in
+  Alcotest.(check bool)
+    "escaped variable name appears"
+    true
+    (let sub = {|"var":"quote\"back\\slash\ttab"|} in
+     let rec find i =
+       if i + String.length sub > String.length s then false
+       else if String.sub s i (String.length sub) = sub then true
+       else find (i + 1)
+     in
+     find 0)
+
+let promote () =
+  let r, collector = demo_run () in
+  Hwf_obs.Jsonl.write_trace ~path:("test/" ^ golden_trace) r.Engine.trace;
+  Hwf_obs.Jsonl.write_metrics
+    ~path:("test/" ^ golden_metrics)
+    (Hwf_obs.Metrics.finish collector);
+  print_endline "promoted test/golden/fig3_{trace,metrics}.jsonl"
+
+let () =
+  if Sys.getenv_opt "HWF_GOLDEN_PROMOTE" <> None then promote ()
+  else
+    Alcotest.run "obs"
+      [
+        ( "jsonl",
+          [
+            Alcotest.test_case "golden trace" `Quick test_golden_trace;
+            Alcotest.test_case "golden metrics" `Quick test_golden_metrics;
+            Alcotest.test_case "jobs determinism (S4)" `Quick test_jobs_determinism;
+            Alcotest.test_case "feed vs of_trace" `Quick test_feed_vs_of_trace;
+            Alcotest.test_case "escaping" `Quick test_escaping;
+          ] );
+      ]

@@ -45,6 +45,42 @@ let test_pool_exception_deterministic () =
     | exception Failure m -> Util.check Alcotest.string "lowest failing index" "5" m
   done
 
+let test_pool_skips_past_error () =
+  (* S2 regression. With [batch = n], whichever worker claims first owns
+     the whole array; the other claims past the end and retires. Cell 0
+     raises, so every later cell in the batch must be skipped — the old
+     worker loop kept evaluating all of them after the error was
+     recorded. Deterministic regardless of which worker wins the first
+     claim: exactly one evaluation, n - 1 skips, index-0 exception. *)
+  let n = 32 in
+  let a = Array.init n Fun.id in
+  let evals = Atomic.make 0 in
+  let f i =
+    Atomic.incr evals;
+    if i = 0 then failwith "cell0" else i
+  in
+  let stats = Hwf_par.Pool.make_stats ~jobs:2 in
+  (match Hwf_par.Pool.map ~jobs:2 ~batch:n ~stats f a with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure m -> Util.check Alcotest.string "index-0 exception" "cell0" m);
+  Util.checki "exactly one cell evaluated" 1 (Atomic.get evals);
+  Util.checki "stats: evaluated" 1 (Hwf_par.Pool.stats_evaluated stats);
+  Util.checki "stats: skipped" (n - 1) (Hwf_par.Pool.stats_skipped stats)
+
+let test_pool_stats () =
+  let a = Array.init 100 Fun.id in
+  let stats = Hwf_par.Pool.make_stats ~jobs:4 in
+  let r = Hwf_par.Pool.map ~jobs:4 ~stats succ a in
+  Util.check Alcotest.(array int) "result unaffected" (Array.map succ a) r;
+  Util.checki "every cell counted once" 100 (Hwf_par.Pool.stats_evaluated stats);
+  Util.checki "nothing skipped" 0 (Hwf_par.Pool.stats_skipped stats);
+  Util.checkb "claims cover the array" (Hwf_par.Pool.stats_claims stats >= 100 / 1 / 4);
+  Util.checki "per-worker counts sum to total" 100
+    (Array.fold_left ( + ) 0 (Hwf_par.Pool.stats_per_worker stats));
+  (* Accumulates across calls, and the inline path attributes to worker 0. *)
+  ignore (Hwf_par.Pool.map ~jobs:1 ~stats succ a);
+  Util.checki "accumulated" 200 (Hwf_par.Pool.stats_evaluated stats)
+
 (* ---- parallel explore ---- *)
 
 let fig3 ~quantum ~pris =
@@ -177,6 +213,9 @@ let () =
           Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
           Alcotest.test_case "batched map" `Quick test_pool_map_batched;
           Alcotest.test_case "edge sizes" `Quick test_pool_map_edges;
+          Alcotest.test_case "skips cells past a recorded error" `Quick
+            test_pool_skips_past_error;
+          Alcotest.test_case "stats hook" `Quick test_pool_stats;
           Alcotest.test_case "deterministic exceptions" `Quick
             test_pool_exception_deterministic;
         ] );

@@ -148,6 +148,37 @@ let test_trace_contents () =
     ()
   | evs -> Alcotest.failf "unexpected events:@.%a" Fmt.(list ~sep:(any "@.") Trace.pp_event) evs
 
+(* S1 regression: own_statements is maintained incrementally; it must
+   agree with a fold over the event vector, and the observer hook must
+   see every event in append order. *)
+let test_own_statements_incremental () =
+  let config = Util.uni_config ~quantum:2 [ 1; 1; 2 ] in
+  let n = Config.n config in
+  let seen = ref 0 in
+  let log = ref [] in
+  let bodies = Array.init n (fun pid -> logger_body log pid (3 + pid)) in
+  let r =
+    Engine.run ~config
+      ~policy:(Hwf_adversary.Stagger.max_interleave ())
+      ~observer:(fun _ -> incr seen)
+      bodies
+  in
+  Util.checki "observer saw every event" (Trace.length r.trace) !seen;
+  let folded = Array.make n 0 in
+  List.iter
+    (function
+      | Trace.Stmt { pid; _ } -> folded.(pid) <- folded.(pid) + 1
+      | _ -> ())
+    (Trace.events r.trace);
+  for pid = 0 to n - 1 do
+    Util.checki
+      (Printf.sprintf "own_statements p%d agrees with fold" (pid + 1))
+      folded.(pid)
+      (Trace.own_statements r.trace pid)
+  done;
+  Alcotest.check_raises "pid out of range" (Invalid_argument "Trace.own_statements")
+    (fun () -> ignore (Trace.own_statements r.trace n))
+
 let test_now_monotone () =
   let config = Util.uni_config ~quantum:10 [ 1 ] in
   let ts = ref [] in
@@ -421,6 +452,8 @@ let () =
           Alcotest.test_case "first preemption free" `Quick test_first_preemption_free;
           Alcotest.test_case "shared semantics" `Quick test_shared_semantics;
           Alcotest.test_case "trace contents" `Quick test_trace_contents;
+          Alcotest.test_case "own statements incremental" `Quick
+            test_own_statements_incremental;
           Alcotest.test_case "now monotone" `Quick test_now_monotone;
           Alcotest.test_case "step limit" `Quick test_step_limit;
           Alcotest.test_case "policy stop" `Quick test_policy_stop;
