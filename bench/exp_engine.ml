@@ -1,0 +1,122 @@
+(* E19 — engine scheduling throughput.
+
+   Every theorem reproduction and every adversary campaign funnels its
+   work through Engine.run, so the statements-per-second of one engine
+   is the repo-wide cost unit. This experiment pins that number down
+   across the dimensions that stress the scheduler's per-decision work:
+
+     N  processes            2, 8, 32, 128
+     P  processors           1, 4 (cells with P > N are skipped)
+     observer                off / full Hwf_obs.Metrics collector
+
+   Each cell runs the same two-band workload (processes round-robin
+   over the processors, alternating between two priority levels, each
+   performing 8-statement invocations until a shared statement target
+   is met) under a seeded random policy, and reports wall-clock
+   statements/sec. Results go to stdout and to BENCH_engine.json
+   ({schema, target, cells[]}) so the perf trajectory of the scheduling
+   loop is recorded per run; EXPERIMENTS.md (E19) keeps the pre/post
+   numbers of the incremental-scheduler rewrite. *)
+
+open Hwf_sim
+open Hwf_workload
+
+type cell = {
+  n : int;
+  processors : int;
+  observer : bool;
+  statements : int;
+  seconds : float;
+}
+
+let stmts_per_sec c =
+  if c.seconds > 0. then float_of_int c.statements /. c.seconds else 0.
+
+(* Two priority bands, processors filled round-robin: exercises both the
+   Axiom 1 ready-level comparisons and the Axiom 2 guard checks. *)
+let layout ~n ~processors =
+  List.init n (fun i -> (i mod processors, 1 + (i / processors mod 2)))
+
+let measure ~observer ~n ~processors ~target =
+  let config = Layout.to_config ~quantum:6 (layout ~n ~processors) in
+  let inv_len = 8 in
+  let invs = max 1 (target / n / inv_len) in
+  let bodies =
+    Array.init n (fun _ () ->
+        for _ = 1 to invs do
+          Eff.invocation "w" (fun () ->
+              for _ = 1 to inv_len do
+                Eff.local "s"
+              done)
+        done)
+  in
+  let obs =
+    if observer then Some (Hwf_obs.Metrics.feed (Hwf_obs.Metrics.collector config))
+    else None
+  in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Engine.run ~step_limit:100_000_000 ?observer:obs ~config
+      ~policy:(Policy.random ~seed:7) bodies
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  assert (Array.for_all Fun.id r.Engine.finished);
+  { n; processors; observer; statements = Trace.statements r.Engine.trace; seconds }
+
+let json_of_cells ~target cells =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"hwf-bench-engine/1\",\n";
+  Printf.bprintf b "  \"target_statements\": %d,\n" target;
+  Buffer.add_string b "  \"cells\": [\n";
+  List.iteri
+    (fun i c ->
+      Printf.bprintf b
+        "    {\"n\": %d, \"processors\": %d, \"observer\": %b, \"statements\": %d, \
+         \"seconds\": %.6f, \"stmts_per_sec\": %.1f}%s\n"
+        c.n c.processors c.observer c.statements c.seconds (stmts_per_sec c)
+        (if i = List.length cells - 1 then "" else ","))
+    cells;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let run ~quick =
+  Tbl.section "E19: engine scheduling throughput";
+  let target = if quick then 24_000 else 120_000 in
+  let cells =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun processors ->
+            if processors > n then []
+            else
+              List.map
+                (fun observer -> measure ~observer ~n ~processors ~target)
+                [ false; true ])
+          [ 1; 4 ])
+      [ 2; 8; 32; 128 ]
+  in
+  Tbl.print
+    ~title:
+      (Printf.sprintf "statements/sec, ~%d statements per cell (seed 7%s)" target
+         (if quick then ", quick" else ""))
+    ~header:[ "N"; "P"; "observer"; "statements"; "seconds"; "stmts/sec" ]
+    (List.map
+       (fun c ->
+         [
+           string_of_int c.n;
+           string_of_int c.processors;
+           (if c.observer then "metrics" else "off");
+           string_of_int c.statements;
+           Printf.sprintf "%.3f" c.seconds;
+           Printf.sprintf "%.0f" (stmts_per_sec c);
+         ])
+       cells);
+  let path = "BENCH_engine.json" in
+  let oc = open_out path in
+  output_string oc (json_of_cells ~target cells);
+  close_out oc;
+  Tbl.note
+    "wrote %s; the N=128 rows are the scheduling-loop stress cells the\n\
+     incremental-structure rewrite is measured by (EXPERIMENTS.md, E19)."
+    path

@@ -33,6 +33,7 @@ let experiments : (string * string * (quick:bool -> unit)) list =
     ("faults", "E16: fault-injection campaigns / wait-freedom certifier", Exp_faults.run);
     ("par", "E17: domain-parallel speedup campaign (BENCH_par.json)", Exp_par.run);
     ("obs", "E18: observability overhead (observer hook on vs off)", Exp_obs.run);
+    ("engine", "E19: engine scheduling throughput (BENCH_engine.json)", Exp_engine.run);
   ]
 
 (* Bechamel micro-benchmarks: wall-clock cost of simulated operations. *)

@@ -22,11 +22,29 @@ let search_order spec ~ops ~results ~precede ~required =
     let n = Array.length ops in
     begin
       let seen = Hashtbl.create 1024 in
+      (* The memo table compares states structurally. A spec state that
+         embeds a closure defeats that: [Hashtbl.mem] raises
+         [Invalid_argument "compare: functional value"] the first time
+         two such keys collide in a bucket. Detect it once and degrade
+         to the (correct, merely slower) unmemoized search. *)
+      let memo_ok = ref true in
+      let visited key =
+        !memo_ok
+        &&
+        try
+          if Hashtbl.mem seen key then true
+          else begin
+            Hashtbl.add seen key ();
+            false
+          end
+        with Invalid_argument _ ->
+          memo_ok := false;
+          Hashtbl.reset seen;
+          false
+      in
       let rec search done_mask state =
         if done_mask land required = required then raise Found;
-        let key = (done_mask, state) in
-        if not (Hashtbl.mem seen key) then begin
-          Hashtbl.add seen key ();
+        if not (visited (done_mask, state)) then begin
           for i = 0 to n - 1 do
             let bit = 1 lsl i in
             if done_mask land bit = 0 && precede.(i) land lnot done_mask = 0 then begin

@@ -96,11 +96,11 @@ let event (e : Trace.event) =
 let trace_to_buffer buf trace =
   Buffer.add_string buf (trace_header (Trace.config trace));
   Buffer.add_char buf '\n';
-  List.iter
+  Trace.iter
     (fun e ->
       Buffer.add_string buf (event e);
       Buffer.add_char buf '\n')
-    (Trace.events trace)
+    trace
 
 let trace_to_string trace =
   let buf = Buffer.create 4096 in

@@ -82,7 +82,10 @@ type collector = {
   mutable c_statements : int;
   mutable c_time : int;
   mutable c_switches : int;
-  mutable last_pid : int;
+  last_on : int array;
+      (* last pid to execute on each processor: a switch is a change of
+         running process on one processor, so cross-processor
+         interleaving must not count *)
   mutable closed : inv_stat list;  (* reverse close order *)
 }
 
@@ -117,7 +120,7 @@ let collector config =
     c_statements = 0;
     c_time = 0;
     c_switches = 0;
-    last_pid = -1;
+    last_on = Array.make config.Config.processors (-1);
     closed = [];
   }
 
@@ -169,8 +172,10 @@ let feed c (e : Trace.event) =
        guarantees are dropped. *)
     if active then Array.iter (fun a -> a.guarantee <- 0) c.accs
   | Trace.Stmt { pid; cost; _ } ->
-    if c.last_pid >= 0 && c.last_pid <> pid then c.c_switches <- c.c_switches + 1;
-    c.last_pid <- pid;
+    let pr = processor pid in
+    if c.last_on.(pr) >= 0 && c.last_on.(pr) <> pid then
+      c.c_switches <- c.c_switches + 1;
+    c.last_on.(pr) <- pid;
     c.c_statements <- c.c_statements + 1;
     c.c_time <- c.c_time + cost;
     let a = c.accs.(pid) in
@@ -242,7 +247,7 @@ let finish c =
 
 let of_trace trace =
   let c = collector (Trace.config trace) in
-  List.iter (feed c) (Trace.events trace);
+  Trace.iter (feed c) trace;
   finish c
 
 let quantum_utilization t pid =

@@ -43,7 +43,10 @@ let of_trace trace =
   let switches = ref 0 in
   let per_pid = Array.make n 0 in
   let max_inv = ref 0 in
-  let last_pid = ref (-1) in
+  (* A context switch is a change of running process on one processor;
+     consecutive trace statements from different processors are ordinary
+     parallelism, not switches. *)
+  let last_on = Array.make config.Config.processors (-1) in
   let close pid completed =
     let a = accs.(pid) in
     if a.open_ then begin
@@ -62,7 +65,7 @@ let of_trace trace =
       a.open_ <- false
     end
   in
-  List.iter
+  Trace.iter
     (fun ev ->
       match ev with
       | Trace.Set_priority { pid; priority = p } -> priority.(pid) <- p
@@ -78,8 +81,9 @@ let of_trace trace =
       | Trace.Inv_end { pid; _ } -> close pid true
       | Trace.Note _ | Trace.Axiom2_gate _ -> ()
       | Trace.Stmt { pid; _ } ->
-        if !last_pid >= 0 && !last_pid <> pid then incr switches;
-        last_pid := pid;
+        let pr = processor pid in
+        if last_on.(pr) >= 0 && last_on.(pr) <> pid then incr switches;
+        last_on.(pr) <- pid;
         per_pid.(pid) <- per_pid.(pid) + 1;
         let a = accs.(pid) in
         if a.open_ then begin
@@ -104,7 +108,7 @@ let of_trace trace =
             | _, `Same -> accs.(q).gap <- `Same
           end
         done)
-    (Trace.events trace);
+    trace;
   for pid = 0 to n - 1 do
     close pid false
   done;

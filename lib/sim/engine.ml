@@ -26,12 +26,18 @@ type cell = {
   mutable mid_inv : bool;
   mutable own_steps : int;
   mutable inv_steps : int;
-  mutable pending : bool;  (* preempted since its last statement *)
+  mutable stamp : int;
+      (* Processor statement count at this process's last own statement
+         (or invocation start). The process was preempted since its last
+         statement iff its processor's count has moved past the stamp,
+         which derives the old eager [pending] flag without the per-
+         statement broadcast over all cells. *)
   mutable guarantee : int;  (* remaining protected statements (Axiom 2) *)
+  mutable dirty : bool;  (* scratch policy view needs rebuilding *)
 }
 
 let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
-    ~(config : Config.t) ~(policy : Policy.t) programs =
+    ?(self_check = false) ~(config : Config.t) ~(policy : Policy.t) programs =
   let n = Config.n config in
   if Array.length programs <> n then
     invalid_arg "Engine.run: program count <> process count";
@@ -54,29 +60,126 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
           mid_inv = false;
           own_steps = 0;
           inv_steps = 0;
-          pending = false;
+          stamp = 0;
           guarantee = 0;
+          dirty = true;
         })
   in
+  (* Incremental scheduler state (docs/ARCHITECTURE.md): every quantity
+     the per-decision loop needs is maintained under the state
+     transitions instead of recomputed by scanning all cells per
+     candidate.
+
+     - [proc_stmts.(P)]: statements executed on processor P; with each
+       cell's [stamp] it derives the preempted-since-last-statement flag.
+     - [ready_count.(P).(L)] and the cached [max_ready.(P)]: Ready cells
+       per priority level, so Axiom 1 is one comparison per candidate.
+     - [guard_count.(P).(L)]: unfinished cells holding an active quantum
+       guarantee, so Axiom 2 blocking is one comparison per candidate.
+     - the live list ([link_next]/[link_prev]): unfinished cells in
+       ascending pid order, so a decision walks O(live) cells. *)
+  let processors = config.processors in
+  let proc_stmts = Array.make processors 0 in
+  let ready_count = Array.make_matrix processors (config.levels + 1) 0 in
+  let max_ready = Array.make processors 0 in
+  let guard_count = Array.make_matrix processors (config.levels + 1) 0 in
+  (* Intrusive doubly-linked list of unfinished cells, ascending pid;
+     index [n] is the head sentinel. *)
+  let link_next = Array.make (n + 1) (-1) in
+  let link_prev = Array.make (n + 1) (-1) in
+  for i = 0 to n - 1 do
+    link_next.(if i = 0 then n else i - 1) <- i;
+    link_prev.(i) <- (if i = 0 then n else i - 1)
+  done;
+  let linked = Array.make n true in
+  let unlink pid =
+    if linked.(pid) then begin
+      linked.(pid) <- false;
+      let p = link_prev.(pid) and nx = link_next.(pid) in
+      link_next.(p) <- nx;
+      if nx >= 0 then link_prev.(nx) <- p
+    end
+  in
+  let incr_ready p l =
+    ready_count.(p).(l) <- ready_count.(p).(l) + 1;
+    if l > max_ready.(p) then max_ready.(p) <- l
+  in
+  let decr_ready p l =
+    ready_count.(p).(l) <- ready_count.(p).(l) - 1;
+    if l = max_ready.(p) && ready_count.(p).(l) = 0 then begin
+      (* The top level emptied: rescan downwards. Each rescan step pays
+         for an earlier [incr_ready] that raised the maximum. *)
+      let m = ref 0 and l' = ref (l - 1) in
+      while !l' >= 1 && !m = 0 do
+        if ready_count.(p).(!l') > 0 then m := !l';
+        decr l'
+      done;
+      max_ready.(p) <- !m
+    end
+  in
+  (* [state]/[priority]/[guarantee] are stale while a continuation chain
+     runs (they describe the last suspension point); the counters mirror
+     the fields, so they are exact whenever the decision loop looks. *)
+  let set_state c st =
+    (match c.state with
+    | Ready _ -> decr_ready c.info.processor c.priority
+    | Boundary _ | Finished -> ());
+    c.state <- st;
+    c.dirty <- true;
+    match st with
+    | Ready _ -> incr_ready c.info.processor c.priority
+    | Boundary _ -> ()
+    | Finished -> unlink c.info.pid
+  in
+  let set_guarantee c g =
+    if g <> c.guarantee then begin
+      let was = c.guarantee > 0 and now = g > 0 in
+      c.guarantee <- g;
+      c.dirty <- true;
+      if was <> now then begin
+        let gc = guard_count.(c.info.processor) in
+        gc.(c.priority) <- (gc.(c.priority) + if now then 1 else -1)
+      end
+    end
+  in
+  let is_pending c = c.mid_inv && proc_stmts.(c.info.processor) > c.stamp in
+  (* Eager shadow of the lazy pending derivation, maintained under
+     [self_check] exactly as the pre-incremental engine maintained its
+     per-cell flag. *)
+  let eager_pending = Array.make n false in
   let cur = ref cells.(0) in
   (* Record that [c]'s next invocation begins now. *)
   let begin_inv c =
     c.mid_inv <- true;
     c.inv_steps <- 0;
+    (* A fresh invocation starts unpreempted. *)
+    c.stamp <- proc_stmts.(c.info.processor);
+    c.dirty <- true;
     Trace.add trace (Trace.Inv_begin { pid = c.info.pid; inv = c.inv; label = c.inv_label });
     c.inv <- c.inv + 1
   in
   let end_inv c label =
     if not c.mid_inv then begin_inv c (* empty invocation *);
     c.mid_inv <- false;
-    c.pending <- false;
-    c.guarantee <- 0;
+    set_guarantee c 0;
     c.inv_steps <- 0;
+    c.dirty <- true;
+    if self_check then eager_pending.(c.info.pid) <- false;
     Trace.add trace (Trace.Inv_end { pid = c.info.pid; inv = c.inv - 1; label })
   in
   let handler =
     {
-      retc = (fun () -> !cur.state <- Finished);
+      retc =
+        (fun () ->
+          let c = !cur in
+          (* A body may return mid-invocation (statements with no closing
+             [Inv_end]): its guarantee and preemption bookkeeping die with
+             it, or equal-priority peers would stay guarded by a finished
+             process forever and the runnable set could empty out. *)
+          c.mid_inv <- false;
+          set_guarantee c 0;
+          if self_check then eager_pending.(c.info.pid) <- false;
+          set_state c Finished);
       exnc = (fun e -> raise e);
       effc =
         (fun (type a) (e : a Effect.t) ->
@@ -85,7 +188,7 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
             Some
               (fun (k : (a, unit) continuation) ->
                 let c = !cur in
-                c.state <- Ready (k, op))
+                set_state c (Ready (k, op)))
           | Eff.Inv_begin label ->
             Some
               (fun (k : (a, unit) continuation) ->
@@ -94,7 +197,7 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
                   Fmt.invalid_arg "Eff.invocation: nested invocation %S in %s" label
                     c.info.name;
                 c.inv_label <- label;
-                c.state <- Boundary k)
+                set_state c (Boundary k))
           | Eff.Inv_end label ->
             Some
               (fun (k : (a, unit) continuation) ->
@@ -116,7 +219,22 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
                   invalid_arg "Eff.set_priority: cannot change priority mid-invocation";
                 if p < 1 || p > config.levels then
                   invalid_arg "Eff.set_priority: level out of range";
-                c.priority <- p;
+                if p <> c.priority then begin
+                  let proc = c.info.processor in
+                  (match c.state with
+                  | Ready _ -> decr_ready proc c.priority
+                  | Boundary _ | Finished -> ());
+                  if c.guarantee > 0 then begin
+                    let gc = guard_count.(proc) in
+                    gc.(c.priority) <- gc.(c.priority) - 1;
+                    gc.(p) <- gc.(p) + 1
+                  end;
+                  c.priority <- p;
+                  c.dirty <- true;
+                  match c.state with
+                  | Ready _ -> incr_ready proc p
+                  | Boundary _ | Finished -> ()
+                end;
                 Trace.add trace (Trace.Set_priority { pid = c.info.pid; priority = p });
                 continue k ())
           | _ -> None);
@@ -128,15 +246,6 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
       cur := cells.(pid);
       match_with body () handler)
     programs;
-  (* True while [c] may legally execute its next statement (wake fused in). *)
-  let max_ready_level processor =
-    Array.fold_left
-      (fun acc c ->
-        match c.state with
-        | Ready _ when c.info.processor = processor -> max acc c.priority
-        | Ready _ | Boundary _ | Finished -> acc)
-      0 cells
-  in
   (* Axiom 2 enforcement may be gated off by fault injection; gate flips
      are recorded in the trace so the checker stays in sync. *)
   let gate_active = ref true in
@@ -152,25 +261,17 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
            leave every process guarded by another (no runnable pick).
            Re-enforcement starts fresh: pending flags survive, so a
            preempted process still earns protection at its next resume. *)
-        if now then Array.iter (fun c -> c.guarantee <- 0) cells;
+        if now then Array.iter (fun c -> set_guarantee c 0) cells;
         Trace.add trace (Trace.Axiom2_gate { at = Trace.statements trace; active = now })
       end
   in
+  (* While the gate is on there is at most one guarantee holder per
+     (processor, level) — re-enforcement cleared the rest — so [c] is
+     guarded iff the level's holder count exceeds [c]'s own holding. *)
   let guarded_by_other c =
     config.axiom2 && !gate_active
-    && Array.exists
-         (fun q ->
-           q != c
-           && q.info.processor = c.info.processor
-           && q.priority = c.priority
-           && q.guarantee > 0)
-         cells
-  in
-  let runnable c =
-    match c.state with
-    | Finished -> false
-    | Ready _ | Boundary _ ->
-      c.priority >= max_ready_level c.info.processor && not (guarded_by_other c)
+    && guard_count.(c.info.processor).(c.priority)
+       > (if c.guarantee > 0 then 1 else 0)
   in
   let pview c : Policy.pview =
     {
@@ -187,53 +288,133 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
       inv_steps = c.inv_steps;
       inv = c.inv;
       guarantee = c.guarantee;
-      pending = c.pending;
+      pending = is_pending c;
     }
   in
+  (* Scratch policy views, refreshed in place: only cells that changed
+     since the last decision re-allocate a view record. *)
+  let views = Array.map pview cells in
+  Array.iter (fun c -> c.dirty <- false) cells;
+  let refresh pid =
+    let c = cells.(pid) in
+    if c.dirty || views.(pid).Policy.pending <> is_pending c then begin
+      views.(pid) <- pview c;
+      c.dirty <- false
+    end
+  in
   let is_finished c = match c.state with Finished -> true | Ready _ | Boundary _ -> false in
-  let all_finished () = Array.for_all is_finished cells in
   (* A halted (fault-injected) process is withheld from the policy's
      choices but still blocks per Axioms 1/2 — a crash is the scheduler
      never allocating it another quantum, not the process vanishing. *)
-  let is_halted c =
+  let is_halted_view (pv : Policy.pview) =
     match halted with
     | None -> false
-    | Some pred -> (not (is_finished c)) && pred (pview c)
+    | Some pred -> pv.Policy.phase <> Policy.Finished && pred pv
+  in
+  (* Naive reference semantics, retained for [self_check]: recompute each
+     scheduling quantity by full scan, exactly as the pre-incremental
+     engine did, and require agreement. *)
+  let naive_max_ready processor =
+    Array.fold_left
+      (fun acc c ->
+        match c.state with
+        | Ready _ when c.info.processor = processor -> max acc c.priority
+        | Ready _ | Boundary _ | Finished -> acc)
+      0 cells
+  in
+  let naive_guarded c =
+    config.axiom2 && !gate_active
+    && Array.exists
+         (fun q ->
+           q != c
+           && q.info.processor = c.info.processor
+           && q.priority = c.priority
+           && q.guarantee > 0
+           && not (is_finished q))
+         cells
+  in
+  let naive_runnable c =
+    match c.state with
+    | Finished -> false
+    | Ready _ | Boundary _ ->
+      c.priority >= naive_max_ready c.info.processor && not (naive_guarded c)
+  in
+  let check_invariants nr runnable_buf =
+    for p = 0 to processors - 1 do
+      assert (max_ready.(p) = naive_max_ready p)
+    done;
+    Array.iteri
+      (fun i c ->
+        assert (views.(i) = pview c);
+        assert (eager_pending.(i) = is_pending c);
+        if is_finished c then assert (not linked.(i)))
+      cells;
+    let naive = ref [] in
+    Array.iter (fun c -> if naive_runnable c then naive := c.info.pid :: !naive) cells;
+    assert (List.rev !naive = List.init nr (fun j -> runnable_buf.(j)))
+  in
+  let runnable_buf = Array.make (max n 1) 0 in
+  let sched_buf = Array.make (max n 1) 0 in
+  let sched_stamp = Array.make (max n 1) 0 in
+  let decisions = ref 0 in
+  (* Statement-free decisions (empty invocations, finishing wakes) are
+     invisible to [step_limit]; bound total decisions too so a
+     statement-free loop cannot spin the scheduler forever. A legitimate
+     run spends at most one decision per statement plus one per empty
+     invocation, so 4x the statement budget is generous headroom. *)
+  let decision_limit =
+    if step_limit >= max_int / 4 then max_int else 4 * step_limit
   in
   let stop = ref All_finished in
   (try
-     while not (all_finished ()) do
-       if Trace.statements trace >= step_limit then begin
+     while link_next.(n) >= 0 do
+       if Trace.statements trace >= step_limit || !decisions >= decision_limit
+       then begin
          stop := Step_limit;
          raise Exit
        end;
+       incr decisions;
        sync_gate ();
-       let runnable_pids =
-         Array.to_list cells
-         |> List.filter runnable
-         |> List.map (fun c -> c.info.pid)
-       in
-       assert (runnable_pids <> []);
-       let schedulable =
-         List.filter (fun pid -> not (is_halted cells.(pid))) runnable_pids
-       in
-       if schedulable = [] then begin
+       (* One pass over live cells in ascending pid order: refresh the
+          scratch views and collect the runnable/schedulable sets. *)
+       let nr = ref 0 and ns = ref 0 in
+       let i = ref link_next.(n) in
+       while !i >= 0 do
+         let c = cells.(!i) in
+         refresh !i;
+         if c.priority >= max_ready.(c.info.processor) && not (guarded_by_other c)
+         then begin
+           runnable_buf.(!nr) <- !i;
+           incr nr;
+           if not (is_halted_view views.(!i)) then begin
+             sched_buf.(!ns) <- !i;
+             incr ns;
+             sched_stamp.(!i) <- !decisions
+           end
+         end;
+         i := link_next.(!i)
+       done;
+       if self_check then check_invariants !nr runnable_buf;
+       assert (!nr > 0);
+       if !ns = 0 then begin
          stop := All_halted;
          raise Exit
        end;
-       let view : Policy.view =
-         {
-           step = Trace.statements trace;
-           runnable = schedulable;
-           procs = Array.map pview cells;
-         }
+       let schedulable =
+         let rec build j acc =
+           if j < 0 then acc else build (j - 1) (sched_buf.(j) :: acc)
+         in
+         build (!ns - 1) []
        in
-       match policy.choose view with
+       let view : Policy.view =
+         { step = Trace.statements trace; runnable = schedulable; procs = views }
+       in
+       (match policy.choose view with
        | None ->
          stop := Policy_stopped;
          raise Exit
        | Some pid ->
-         if not (List.mem pid schedulable) then
+         if pid < 0 || pid >= n || sched_stamp.(pid) <> !decisions then
            Fmt.invalid_arg "Engine.run: policy %s chose non-runnable %a" policy.name
              Proc.pp_pid pid;
          let c = cells.(pid) in
@@ -246,37 +427,50 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
          (match c.state with
          | Ready (k, op) ->
            if not c.mid_inv then begin_inv c;
-           if c.pending then begin
+           if self_check then assert (eager_pending.(pid) = is_pending c);
+           if is_pending c then
              (* Axiom 2: resuming after a preemption grants Q protected
                 statements (this one included). *)
-             c.pending <- false;
-             c.guarantee <- config.quantum
-           end;
+             set_guarantee c config.quantum;
+           if self_check then eager_pending.(pid) <- false;
            let cost = cost_of view pid op in
            Trace.add trace
              (Trace.Stmt { idx = Trace.statements trace; pid; op; inv = c.inv - 1; cost });
            c.own_steps <- c.own_steps + 1;
            c.inv_steps <- c.inv_steps + 1;
-           c.guarantee <- max 0 (c.guarantee - cost);
+           c.dirty <- true;
+           set_guarantee c (max 0 (c.guarantee - cost));
            (* Everyone else mid-invocation on this processor is now
-              preempted-before-its-next-statement. *)
-           Array.iter
-             (fun q ->
-               if q != c && q.info.processor = c.info.processor && q.mid_inv then
-                 q.pending <- true)
-             cells;
+              preempted-before-its-next-statement: advancing the
+              processor counter past their stamps says exactly that. *)
+           let proc = c.info.processor in
+           proc_stmts.(proc) <- proc_stmts.(proc) + 1;
+           c.stamp <- proc_stmts.(proc);
+           if self_check then
+             Array.iter
+               (fun q ->
+                 if q != c && q.info.processor = proc && q.mid_inv then
+                   eager_pending.(q.info.pid) <- true)
+               cells;
            cur := c;
            continue k ()
          | Boundary _ | Finished ->
            (* The wake consumed an empty invocation, or the body finished
               without executing a statement: the decision was a no-op. *)
-           ())
+           ());
+         refresh pid)
      done
    with Exit -> ());
   {
     trace;
     finished = Array.map is_finished cells;
     own_steps = Array.map (fun c -> c.own_steps) cells;
-    halted = Array.map is_halted cells;
+    halted =
+      Array.map
+        (fun c ->
+          match halted with
+          | None -> false
+          | Some pred -> (not (is_finished c)) && pred (pview c))
+        cells;
     stop = !stop;
   }

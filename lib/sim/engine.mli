@@ -58,13 +58,26 @@ val run :
   ?halted:(Policy.pview -> bool) ->
   ?axiom2_active:(step:int -> bool) ->
   ?observer:(Trace.event -> unit) ->
+  ?self_check:bool ->
   config:Config.t ->
   policy:Policy.t ->
   (unit -> unit) array ->
   result
 (** [run ~config ~policy programs] executes [programs.(pid)] for each
     process of [config] under [policy]. [step_limit] (default 1_000_000)
-    bounds total statements.
+    bounds total statements; the engine additionally bounds scheduling
+    decisions at four times the statement budget, so a process looping
+    on statement-free (empty) invocations — which [step_limit] alone
+    cannot see — still terminates the run with [Step_limit].
+
+    The scheduling hot path is incremental: ready-level counts, quantum
+    guards, preemption stamps and a live-process list make each decision
+    one allocation-light pass over unfinished processes instead of a
+    quadratic rescan (see docs/ARCHITECTURE.md). The [Policy.view.procs]
+    array handed to the policy (and to [cost]) is a reused scratch
+    buffer: its contents are valid only for the duration of that call
+    and must not be retained (the [pview] records themselves are
+    immutable and safe to keep).
 
     [cost] chooses each statement's duration in time units, clamped to
     the configuration's [tmin..tmax] (default: every statement costs
@@ -101,6 +114,14 @@ val run :
     order. It is the engine-level entry point of the observability
     layer ({!Hwf_obs.Metrics} collectors); when absent, the only cost
     is one [match] per trace event.
+
+    [self_check] (default [false]) runs the engine's retained naive
+    reference semantics alongside the incremental structures: each
+    decision recomputes the maximum ready level, Axiom-2 guarding, the
+    preemption flags and the runnable set by full scan — exactly as the
+    pre-incremental engine did — and asserts agreement, including that
+    the scratch policy views equal freshly built ones. Intended for
+    tests; it restores the old quadratic cost.
 
     @raise Invalid_argument if the program count differs from the process
     count.

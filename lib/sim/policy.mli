@@ -34,7 +34,11 @@ type pview = {
 type view = {
   step : int;  (** Global statement count so far. *)
   runnable : Proc.pid list;  (** Legal choices, ascending pid order. *)
-  procs : pview array;  (** Indexed by pid. *)
+  procs : pview array;
+      (** Indexed by pid. The engine reuses this array as a scratch
+          buffer across decisions: read it freely during [choose], but
+          do not retain the array itself. The [pview] records are
+          immutable and safe to keep. *)
 }
 
 type t = { name : string; choose : view -> Proc.pid option }

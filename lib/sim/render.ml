@@ -9,7 +9,7 @@ let lanes ?(max_width = 200) trace =
   let started = Array.make n (-1) in
   (* first stmt column of current invocation *)
   let col = ref 0 in
-  List.iter
+  Trace.iter
     (fun ev ->
       match ev with
       | Trace.Inv_begin { pid; _ } ->
@@ -33,7 +33,7 @@ let lanes ?(max_width = 200) trace =
           Bytes.set rows.(pid) !col ch
         end;
         incr col)
-    (Trace.events trace);
+    trace;
   let buf = Buffer.create 1024 in
   let label (p : Proc.t) = Printf.sprintf "%-12s" (Printf.sprintf "%s pri=%d" p.name p.priority) in
   (* Highest priority first, then by pid. *)

@@ -43,6 +43,10 @@ let add t e =
 
 let events t = Vec.to_list t.events
 
+let iter f t = Vec.iter f t.events
+
+let fold f acc t = Vec.fold_left f acc t.events
+
 let length t = Vec.length t.events
 
 let statements t = t.stmts
@@ -68,4 +72,11 @@ let pp_event ppf = function
     Fmt.pf ppf "%4d  AXIOM 2 %s" at (if active then "RESUMED" else "SUSPENDED")
 
 let pp ppf t =
-  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@,") pp_event) (events t)
+  let first = ref true in
+  Fmt.pf ppf "@[<v>";
+  iter
+    (fun e ->
+      if !first then first := false else Fmt.pf ppf "@,";
+      pp_event ppf e)
+    t;
+  Fmt.pf ppf "@]"

@@ -44,6 +44,17 @@ val clear_observer : t -> unit
 val add : t -> event -> unit
 
 val events : t -> event list
+(** A fresh list copy of the whole history — O(length) allocation. For
+    a single pass prefer {!iter} or {!fold}, which walk the underlying
+    vector without copying. *)
+
+val iter : (event -> unit) -> t -> unit
+(** [iter f t] applies [f] to every event in append order, without
+    materializing a list. *)
+
+val fold : ('acc -> event -> 'acc) -> 'acc -> t -> 'acc
+(** [fold f acc t] folds over events in append order, without
+    materializing a list. *)
 
 val length : t -> int
 (** Number of events (not statements). *)

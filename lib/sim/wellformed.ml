@@ -31,7 +31,7 @@ let check trace =
      re-enable (mirroring the engine); pending flags survive, so a
      preempted process earns fresh protection at its next resume. *)
   let gate = ref true in
-  List.iter
+  Trace.iter
     (fun ev ->
       match ev with
       | Trace.Inv_begin { pid; _ } ->
@@ -82,7 +82,7 @@ let check trace =
           if q <> pid && (proc q).processor = p.processor && st.(q).mid_inv then
             st.(q).pending <- true
         done)
-    (Trace.events trace);
+    trace;
   List.rev !violations
 
 let is_well_formed trace = check trace = []

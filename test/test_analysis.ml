@@ -75,6 +75,24 @@ let test_switch_count () =
   Util.checki "three switches" 3 a.switches;
   Alcotest.(check (array int)) "per-pid" [| 2; 2 |] a.per_pid_statements
 
+let test_multiprocessor_switches_not_inflated () =
+  (* Regression: switches were counted whenever consecutive trace
+     statements had different pids, so ordinary cross-processor
+     interleaving inflated the context-switch count on P > 1. A switch
+     is a change of running process on one processor. *)
+  let procs =
+    [ Proc.make ~pid:0 ~processor:0 ~priority:1 ();
+      Proc.make ~pid:1 ~processor:1 ~priority:1 () ]
+  in
+  let config = Config.make ~quantum:4 ~processors:2 ~levels:1 procs in
+  let log = ref [] in
+  let policy = Policy.scripted ~fallback:Policy.first [ 0; 1; 0; 1 ] in
+  let r = Util.run ~config ~policy [| worker log 0 2; worker log 1 2 |] in
+  let a = Analysis.of_trace r.trace in
+  Util.checki "no switches across processors" 0 a.switches;
+  let m = Hwf_obs.Metrics.of_trace r.trace in
+  Util.checki "metrics agree" 0 m.Hwf_obs.Metrics.switches
+
 let test_dynamic_priority_classification () =
   (* After p0 raises its priority, its statements count as higher-level
      activity in p1's gaps. *)
@@ -138,6 +156,8 @@ let () =
           Alcotest.test_case "theorem 1 structure" `Quick
             test_theorem1_quantum_implies_single_preemption;
           Alcotest.test_case "switch count" `Quick test_switch_count;
+          Alcotest.test_case "multiprocessor switches not inflated" `Quick
+            test_multiprocessor_switches_not_inflated;
           Alcotest.test_case "dynamic priority classification" `Quick
             test_dynamic_priority_classification;
         ] );

@@ -80,6 +80,27 @@ let test_too_long () =
   let h = List.init 63 (fun i -> e 0 `Get 0 (2 * i) ((2 * i) + 1)) in
   bad "63 ops rejected" (Lincheck.check reg_spec h)
 
+let test_closure_bearing_spec_state () =
+  (* Regression: the search memoizes on (done_mask, state) with a
+     structural Hashtbl; a state embedding a closure raised
+     Invalid_argument "compare: functional value" as soon as two
+     distinct closures with equal environments collided in a bucket.
+     The checker must degrade to an unmemoized search instead. *)
+  let mk v () = v in
+  let spec =
+    Lincheck.make_spec ~init:(0, mk 0) ~apply:(fun (v, _) op ->
+        match op with
+        | `Get -> ((v, mk v), v)
+        | `Set x -> ((x, mk x), v))
+  in
+  (* Impossible read forces full backtracking: the {Get, Get} mask is
+     reached along both orders with structurally equal-but-distinct
+     closure states — the pre-fix crash. *)
+  bad "closure spec, impossible read"
+    (Lincheck.check spec [ e 0 `Get 0 0 10; e 1 `Get 0 0 10; e 2 `Get 42 0 10 ]);
+  ok "closure spec, valid history"
+    (Lincheck.check spec [ e 0 (`Set 5) 0 0 2; e 1 `Get 5 3 4 ])
+
 let test_sequential_consistency_weaker () =
   (* The canonical separator: a stale read of another process's
      completed write. SC may order the read before the write (no
@@ -201,6 +222,8 @@ let () =
           Alcotest.test_case "two writers" `Quick test_two_writers_read_order;
           Alcotest.test_case "cas history" `Quick test_cas_history;
           Alcotest.test_case "too long" `Quick test_too_long;
+          Alcotest.test_case "closure-bearing spec state" `Quick
+            test_closure_bearing_spec_state;
           Alcotest.test_case "SC strictly weaker" `Quick test_sequential_consistency_weaker;
           Alcotest.test_case "hist recorder" `Quick test_hist_recorder;
           Alcotest.test_case "pending ops" `Quick test_pending_ops;

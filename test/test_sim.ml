@@ -268,6 +268,42 @@ let test_empty_invocation () =
   in
   Util.checki "three invocations recorded" 3 (List.length begins)
 
+let test_finished_releases_guarantee () =
+  (* Regression: a body that returns after executing statements (no
+     Inv_end — legal for "bare" bodies that never call Eff.invocation)
+     used to leave its cell Finished with an active quantum guarantee,
+     permanently guarding every same-priority peer on its processor and
+     crashing the scheduling loop on the empty-runnable assert. *)
+  let config = Util.uni_config ~quantum:8 [ 1; 1 ] in
+  let bare k () =
+    for _ = 1 to k do
+      Eff.local "s"
+    done
+  in
+  (* p0 one statement; p1 one statement (p0 preempted); p0 resumes under
+     a fresh 8-statement guarantee and finishes mid-guarantee; p1 must
+     then be allowed to continue. *)
+  let policy = Policy.scripted ~fallback:Policy.first [ 0; 1; 0 ] in
+  let r = Engine.run ~config ~policy [| bare 2; bare 2 |] in
+  Util.checkb "both finished" (Array.for_all Fun.id r.Engine.finished);
+  Util.checkb "stops normally" (r.Engine.stop = Engine.All_finished)
+
+let test_empty_invocation_loop_bounded () =
+  (* Regression: a statement-free invocation records Inv_begin/Inv_end
+     without advancing Trace.statements, so a program looping on empty
+     invocations grew the trace and spun the scheduler forever —
+     step_limit never fired. Scheduler decisions are bounded too now. *)
+  let config = Util.uni_config ~quantum:4 [ 1 ] in
+  let body () =
+    while true do
+      Eff.invocation "e" (fun () -> ())
+    done
+  in
+  let r = Engine.run ~step_limit:25 ~config ~policy:Policy.first [| body |] in
+  Util.checkb "stops with Step_limit" (r.Engine.stop = Engine.Step_limit);
+  Util.checki "no statements" 0 (Trace.statements r.Engine.trace);
+  Util.checkb "trace stayed bounded" (Trace.length r.Engine.trace <= 8 * 25)
+
 let test_wellformed_detects_priority_violation () =
   (* Hand-build a trace where a low-priority process runs while a
      higher-priority one is mid-invocation. *)
@@ -434,6 +470,57 @@ let prop_engine_always_well_formed =
       let r = Engine.run ~config ~policy:(Policy.random ~seed:(seed + 1)) bodies in
       Array.for_all Fun.id r.finished && Wellformed.is_well_formed r.trace)
 
+(* Property: the incremental scheduler agrees with the retained naive
+   reference. [self_check] recomputes every scheduling quantity by full
+   scan each decision and asserts agreement in-run; on top, a checked
+   run must be observationally identical to a plain one — same trace
+   bytes, stop reason and per-pid result vectors. Exercises random
+   multiprocessor layouts, dynamic priorities, empty invocations, the
+   Axiom-2 gate and halting faults. *)
+let prop_incremental_matches_naive =
+  let gen =
+    QCheck2.Gen.(
+      tup4 (int_range 0 10_000) (int_range 1 3) (int_range 1 3) (int_range 0 12))
+  in
+  Util.qtest ~count:40 "incremental scheduler = naive reference" gen
+    (fun (seed, processors, levels, quantum) ->
+      let layout =
+        Hwf_workload.Layout.random ~seed ~processors ~levels ~n:(3 + (seed mod 4))
+      in
+      let config = Hwf_workload.Layout.to_config ~quantum layout in
+      let n = Config.n config in
+      let axiom2_active =
+        if seed mod 2 = 0 then None else Some (fun ~step -> step / 5 mod 2 = 0)
+      in
+      let halted =
+        if seed mod 3 = 0 then
+          Some (fun (pv : Policy.pview) -> pv.pid = 0 && pv.own_steps >= 4)
+        else None
+      in
+      let run ~self_check =
+        let x = Shared.make "x" 0 in
+        let bodies =
+          Array.init n (fun pid () ->
+              for _ = 1 to 2 do
+                Eff.invocation "op" (fun () ->
+                    let v = Shared.read x in
+                    Eff.local "l";
+                    Shared.write x (v + pid + 1))
+              done;
+              if config.Config.levels > 1 then
+                Eff.set_priority (1 + ((pid + seed) mod config.Config.levels));
+              Eff.invocation "empty" (fun () -> ()))
+        in
+        Engine.run ?halted ?axiom2_active ~self_check ~step_limit:2_000 ~config
+          ~policy:(Policy.random ~seed:(seed + 1)) bodies
+      in
+      let a = run ~self_check:false in
+      let b = run ~self_check:true in
+      Hwf_obs.Jsonl.trace_to_string a.trace = Hwf_obs.Jsonl.trace_to_string b.trace
+      && a.stop = b.stop && a.finished = b.finished && a.halted = b.halted
+      && a.own_steps = b.own_steps
+      && Wellformed.is_well_formed a.trace)
+
 let () =
   Alcotest.run "sim"
     [
@@ -463,6 +550,10 @@ let () =
             test_nested_invocation_rejected;
           Alcotest.test_case "exceptions propagate" `Quick test_exceptions_propagate;
           Alcotest.test_case "empty invocation" `Quick test_empty_invocation;
+          Alcotest.test_case "finished process releases guarantee" `Quick
+            test_finished_releases_guarantee;
+          Alcotest.test_case "empty-invocation loop bounded" `Quick
+            test_empty_invocation_loop_bounded;
           Alcotest.test_case "halted hook" `Quick test_halted_hook;
           Alcotest.test_case "no hook, no halted marks" `Quick
             test_halted_none_marked_without_hook;
@@ -477,5 +568,6 @@ let () =
             test_wellformed_detects_quantum_violation;
         ] );
       ("render", [ Alcotest.test_case "lane shapes" `Quick test_render_shapes ]);
-      ("props", [ prop_engine_always_well_formed ]);
+      ("props",
+       [ prop_engine_always_well_formed; prop_incremental_matches_naive ]);
     ]
