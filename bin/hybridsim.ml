@@ -828,6 +828,86 @@ let trace_cmd =
        ~doc:"Render the interleaving of simple object accesses (Figs. 1-2).")
     term
 
+(* ---- lint: the model-conformance linter ---- *)
+
+let lint_cmd =
+  let open Hwf_lint in
+  let subjects_arg =
+    let doc =
+      Fmt.str "Subject to lint (repeatable; default: all). One of %a."
+        Fmt.(list ~sep:comma string)
+        Registry.names
+    in
+    Arg.(value & opt_all (enum (List.map (fun n -> (n, n)) Registry.names)) []
+         & info [ "s"; "subject" ] ~docv:"NAME" ~doc)
+  in
+  let budget_arg =
+    let doc = "Schedule battery size: replays per subject (round-robin, the \
+               deterministic policies, then seeded randoms)." in
+    Arg.(value & opt int 12 & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let report_arg =
+    let doc = "Also write the machine-readable hwf-lint/1 JSONL report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let corpus_arg =
+    let doc =
+      "Negative-control mode: lint the known-bad corpus instead of the \
+       registry and require every case to be rejected with its expected \
+       rule. Exit 1 if any checker fails to fire."
+    in
+    Arg.(value & flag & info [ "corpus" ] ~doc)
+  in
+  let action subjects budget report corpus =
+    if corpus then begin
+      let misses =
+        List.filter_map
+          (fun (c : Hwf_lint_corpus.Corpus.case) ->
+            let o, fired = Hwf_lint_corpus.Corpus.fires ~budget c in
+            Fmt.pr "%-24s %-28s %s@." o.Lint.spec.Lint.name c.Hwf_lint_corpus.Corpus.expected_rule
+              (if fired then "rejected (ok)" else "NOT REJECTED");
+            if fired then None else Some o.Lint.spec.Lint.name)
+          (Hwf_lint_corpus.Corpus.all ())
+      in
+      match misses with
+      | [] ->
+        Fmt.pr "corpus: all %d known-bad cases rejected@."
+          (List.length (Hwf_lint_corpus.Corpus.all ()))
+      | ms ->
+        Fmt.epr "corpus: %d case(s) not rejected: %a@." (List.length ms)
+          Fmt.(list ~sep:comma string)
+          ms;
+        exit 1
+    end
+    else begin
+      let specs =
+        match subjects with
+        | [] -> Registry.all ()
+        | names -> List.filter_map Registry.find names
+      in
+      let outcomes = List.map (Lint.run ~budget) specs in
+      List.iter (Fmt.pr "%a@." Report.pp_outcome) outcomes;
+      Option.iter (fun path -> Report.write ~path outcomes) report;
+      let errors = List.concat_map Lint.errors outcomes in
+      if errors = [] then
+        Fmt.pr "lint: %d subject(s) clean@." (List.length outcomes)
+      else begin
+        Fmt.epr "lint: %d error(s)@." (List.length errors);
+        exit 1
+      end
+    end
+  in
+  let term = Term.(const action $ subjects_arg $ budget_arg $ report_arg $ corpus_arg) in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Model-conformance linter: replay each algorithm under a schedule \
+          battery, reconstruct its statement-level CFG, and check atomicity, \
+          quantum shape (derived constant c vs. the theorem preconditions), \
+          wait-freedom loop bounds and priority-change legality. Exit 1 on \
+          any error finding.")
+    term
+
 let () =
   let doc =
     "Wait-free synchronization under hybrid priority/quantum scheduling \
@@ -839,5 +919,5 @@ let () =
        (Cmd.group info
           [
             run_cmd; explore_cmd; replay_cmd; analyze_cmd; bivalence_cmd; cas_cmd;
-            bounds_cmd; sweep_cmd; faults_cmd; stats_cmd; trace_cmd;
+            bounds_cmd; sweep_cmd; faults_cmd; stats_cmd; trace_cmd; lint_cmd;
           ]))

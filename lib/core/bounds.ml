@@ -1,4 +1,7 @@
 let uniprocessor_consensus_quantum = 8
+let fig5_stmt_const = 60
+let fig7_stmt_const = 160
+let universal_stmt_const = 40
 
 let universal_quantum ~c ~p ~consensus_number =
   if consensus_number < p then None

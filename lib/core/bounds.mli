@@ -12,7 +12,31 @@
     implementation. *)
 
 val uniprocessor_consensus_quantum : int
-(** Theorem 1: [Q >= 8] suffices for the Fig. 3 algorithm. *)
+(** Theorem 1: [Q >= 8] suffices for the Fig. 3 algorithm. This is both
+    the quantum bound and the exact statement count of one [decide]
+    ({!Uni_consensus.statements_per_decide} re-exports it from the
+    algorithm's side); the linter re-derives it from replayed bodies. *)
+
+val fig5_stmt_const : int
+(** The per-level statement constant [c] of the Fig. 5 hybrid C&S
+    implementation: an upper bound on the statements one [cas]/[read]
+    executes per priority level (each retries at most once per level).
+    Theorem 2 asks for [Q >= c]; {!Hwf_faults.Suite.fig5}'s own-step
+    bound is [c * V * ops]. Declared with slack above the measured
+    worst case; the linter checks the declaration against the maximum
+    it derives by replay. *)
+
+val fig7_stmt_const : int
+(** The per-level statement constant [c] of the Fig. 7 multiprocessor
+    consensus implementation, used in the Theorem 4 quantum
+    [max (2c) (c(2P + 1 - C))] and in {!Hwf_faults.Suite.fig7}'s
+    own-step bound [c * L]. Declared with slack; linted like
+    {!fig5_stmt_const}. *)
+
+val universal_stmt_const : int
+(** The per-operation statement constant of the universal-construction
+    counter over Fig. 3 cells ({!Hwf_faults.Suite.universal}'s bound is
+    [c * N]). Declared with slack; linted like {!fig5_stmt_const}. *)
 
 val universal_quantum : c:int -> p:int -> consensus_number:int -> int option
 (** Theorem 4 / Table 1 middle column: the quantum at which an object

@@ -41,7 +41,11 @@ let make ~name ~init ~apply =
       max_attempts = 0;
     }
   in
-  Shared.poke (val_cell t 0) (Some init);
+  (* Initialization-before-publication: objects may be built lazily from
+     inside process code (e.g. fresh consensus cells mid-operation), and
+     seeding a cell nobody else can reach yet is not a shared access in
+     the model's sense. *)
+  Runtime.instrumentation (fun () -> Shared.poke (val_cell t 0) (Some init));
   t
 
 (* Scan from the version hint to the first undecided slot, replaying

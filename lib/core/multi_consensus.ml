@@ -161,30 +161,33 @@ let decide t ~pid input0 =
            port of every level below [level] on this processor has been
            claimed; any such level still without a published output is an
            access failure, classified same-/different-priority by the
-           observer vs the parked claimant. Harness-only peeks. *)
-        for l = 1 to min !level t.l - 1 do
-          if Shared.peek t.outval.(i).(l) = None then begin
-            let cls =
-              match Hashtbl.find_opt t.claimants (i, l) with
-              | Some claimant
-                when t.config.Config.procs.(claimant).Proc.priority = v ->
-                `Same
-              | Some _ -> `Diff
-              | None -> `Diff (* ports consumed but never election-claimed *)
-            in
-            (match cls with
-            | `Same -> t.af_same_events <- t.af_same_events + 1
-            | `Diff -> t.af_diff_events <- t.af_diff_events + 1
-            | `Both -> assert false (* fresh classification is never merged *));
-            let cls =
-              match Hashtbl.find_opt t.af (i, l) with
-              | None -> cls
-              | Some prev when prev = cls -> cls
-              | Some _ -> `Both
-            in
-            Hashtbl.replace t.af (i, l) cls
-          end
-        done;
+           observer vs the parked claimant. Harness-only peeks, inside a
+           Runtime.instrumentation bracket: exempt from the process-code
+           guard and invisible to the conformance linter. *)
+        Runtime.instrumentation (fun () ->
+            for l = 1 to min !level t.l - 1 do
+              if Shared.peek t.outval.(i).(l) = None then begin
+                let cls =
+                  match Hashtbl.find_opt t.claimants (i, l) with
+                  | Some claimant
+                    when t.config.Config.procs.(claimant).Proc.priority = v ->
+                    `Same
+                  | Some _ -> `Diff
+                  | None -> `Diff (* ports consumed but never election-claimed *)
+                in
+                (match cls with
+                | `Same -> t.af_same_events <- t.af_same_events + 1
+                | `Diff -> t.af_diff_events <- t.af_diff_events + 1
+                | `Both -> assert false (* fresh classification is never merged *));
+                let cls =
+                  match Hashtbl.find_opt t.af (i, l) with
+                  | None -> cls
+                  | Some prev when prev = cls -> cls
+                  | Some _ -> `Both
+                in
+                Hashtbl.replace t.af (i, l) cls
+              end
+            done);
         let publevel = Q_cas.read lastpub_v (* line 27 *) in
         Eff.local (t.name ^ ".28");
         if publevel <> 0 then begin

@@ -103,8 +103,10 @@ let fig5 ?(seed = 23) () =
       config;
       policy = (fun () -> Policy.random ~seed);
       make;
-      step_bound = 60 * Layout.levels layout * ops_per;
-      bound_desc = Fmt.str "%d = c.V.ops (Thm 2, O(V) per op)" (60 * Layout.levels layout * ops_per);
+      step_bound = Bounds.fig5_stmt_const * Layout.levels layout * ops_per;
+      bound_desc =
+        Fmt.str "%d = c.V.ops (Thm 2, O(V) per op)"
+          (Bounds.fig5_stmt_const * Layout.levels layout * ops_per);
       step_limit = 50_000;
     }
 
@@ -147,8 +149,9 @@ let fig7 ?(seed = 29) () =
       config;
       policy = (fun () -> Policy.random ~seed);
       make;
-      step_bound = 160 * levels;
-      bound_desc = Fmt.str "%d = c.L, L=%d (Thm 4, O(L))" (160 * levels) levels;
+      step_bound = Bounds.fig7_stmt_const * levels;
+      bound_desc =
+        Fmt.str "%d = c.L, L=%d (Thm 4, O(L))" (Bounds.fig7_stmt_const * levels) levels;
       step_limit = 100_000;
     }
 
@@ -186,8 +189,9 @@ let universal ?(seed = 31) () =
       config;
       policy = (fun () -> Policy.random ~seed);
       make;
-      step_bound = 40 * n;
-      bound_desc = Fmt.str "%d = c.N (universal, O(N) per op)" (40 * n);
+      step_bound = Bounds.universal_stmt_const * n;
+      bound_desc =
+        Fmt.str "%d = c.N (universal, O(N) per op)" (Bounds.universal_stmt_const * n);
       step_limit = 50_000;
     }
 

@@ -1,0 +1,55 @@
+(** Control-flow reconstruction from replayed statement sequences.
+
+    Nodes are announced statements (keyed by their rendering, so "read
+    X" is one node however many syntactic sites produce it — an
+    observational CFG); edges connect consecutive statements of one
+    invocation, bracketed by [entry:label]/[exit:label] pseudo-nodes. A
+    statement recurring within a single invocation is a back edge, and
+    the segment since its previous occurrence is one iteration of the
+    loop body.
+
+    Loop classification ({!loop_class}) is the wait-freedom core of the
+    linter: [Static] loops read no variable another process writes, so
+    their iteration count cannot depend on other processes (bounded by
+    the code itself); [Helping] loops spin on a variable some other
+    process writes — bounded only under a helping/fairness argument
+    (Sec. 5); [Unbounded] loops belong to an invocation that was still
+    open when a replay exhausted its statement budget, the replay
+    signature of a non-wait-free loop. *)
+
+open Hwf_sim
+
+type loop_class = Static | Helping | Unbounded
+
+val pp_class : loop_class Fmt.t
+
+type loop = {
+  l_pid : int;
+  l_label : string;  (** Enclosing invocation label. *)
+  l_head : string;  (** The repeated statement (rendered). *)
+  l_body : Op.t list;  (** One observed iteration, head first. *)
+  mutable l_class : loop_class;
+}
+
+type shape = {
+  s_label : string;
+  mutable s_max_stmts : int;
+      (** Longest observed statement path of one invocation, across all
+          replays and processes — the per-invocation constant [c]. *)
+  mutable s_completed : int;  (** Completed invocations observed. *)
+}
+
+type t = {
+  edges : (int * string * string) list;  (** (pid, from, to), sorted. *)
+  loops : loop list;
+  shapes : shape list;
+  truncated : (int * string) list;
+      (** (pid, label) invocations left open by a [Step_limit] stop. *)
+  derived_c : int;  (** Max of [s_max_stmts] over all shapes. *)
+}
+
+val key : Op.t -> string
+(** The node key of a statement (its rendering). *)
+
+val build : Astore.t -> Recorder.run list -> t
+(** Fold every replay into one CFG; the store decides helping-ness. *)

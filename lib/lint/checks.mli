@@ -1,0 +1,71 @@
+(** The four conformance checkers.
+
+    Each consumes the replay battery (or the CFG folded from it) and
+    produces findings; an [Error]-severity finding fails the lint, a
+    [Warning] is informational. Rule identifiers are stable strings
+    (["atomicity.multi-var"], ["loop-bound.unbounded"], ...) — the
+    corpus tests and the JSONL schema key on them. *)
+
+open Hwf_sim
+
+type severity = Error | Warning
+
+val pp_severity : severity Fmt.t
+
+type finding = {
+  rule : string;  (** Stable rule identifier, ["checker.rule"]. *)
+  severity : severity;
+  pid : int;  (** Offending process, or [-1] when not attributable. *)
+  detail : string;
+}
+
+val pp_finding : finding Fmt.t
+
+type expectation =
+  | Exact of int
+      (** The derived per-invocation statement constant must equal this
+          (Fig. 3: exactly the 8 statements of Theorem 1). *)
+  | At_most of int
+      (** The derived constant must not exceed this (Theorems 2/4
+          bounds, declared with slack). *)
+  | Helping
+      (** No static per-invocation bound: termination rests on a
+          helping/fairness argument (Sec. 5); only loop classification
+          applies. *)
+
+val atomicity : Recorder.run list -> finding list
+(** Model conformance of statements: every window's concrete accesses
+    must stay within its announcement. Rules: [atomicity.multi-var] (a
+    statement touches more than one shared variable),
+    [atomicity.harness-access] (a non-instrumentation peek/poke is
+    reachable from process code), [atomicity.var-mismatch] (access to a
+    variable other than the announced one), [atomicity.kind-mismatch]
+    (write under a read announcement or vice versa),
+    [atomicity.unannounced] (shared access under a [Local] statement or
+    outside any announcement). Zero accesses under a shared
+    announcement are allowed — objects built on plain OCaml state
+    ([Hw_atomic]) are invisible to the tap by design. *)
+
+val loop_bound : Cfg.t -> finding list
+(** Wait-freedom of loops: [loop-bound.unbounded] ([Error]) for loops
+    or invocations cut off by the replay budget; [loop-bound.helping]
+    ([Warning]) for loops that spin on another process's writes. Static
+    loops produce no finding. *)
+
+val quantum_shape :
+  expect:expectation ->
+  min_quantum:int ->
+  theorem:string ->
+  config:Config.t ->
+  Cfg.t ->
+  finding list
+(** Theorem preconditions: [quantum-shape.constant] when the derived
+    per-invocation constant disagrees with the declared expectation,
+    [quantum-shape.quantum] when the configured quantum is below the
+    theorem's [Q >= ...] precondition. *)
+
+val priority : Recorder.run list -> finding list
+(** Priority-change legality: [priority.mid-invocation] when a replay
+    raised the engine's mid-invocation [set_priority] rejection or a
+    recorded event stream contains a mid-invocation change;
+    [lint.crash] for any other exception escaping a replay. *)

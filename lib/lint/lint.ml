@@ -1,0 +1,44 @@
+open Hwf_sim
+
+type spec = {
+  name : string;
+  config : Config.t;
+  make : unit -> (unit -> unit) array;
+  expect : Checks.expectation;
+  min_quantum : int;
+  theorem : string;
+  fair_only : bool;
+  step_limit : int;
+}
+
+type outcome = {
+  spec : spec;
+  runs : int;
+  store : Astore.t;
+  cfg : Cfg.t;
+  findings : Checks.finding list;
+}
+
+let run ?budget spec =
+  let runs =
+    Recorder.record_battery ?budget ~step_limit:spec.step_limit ~fair_only:spec.fair_only
+      ~config:spec.config ~make:spec.make ()
+  in
+  let store = Astore.build runs in
+  let cfg = Cfg.build store runs in
+  let findings =
+    Checks.atomicity runs
+    @ Checks.loop_bound cfg
+    @ Checks.quantum_shape ~expect:spec.expect ~min_quantum:spec.min_quantum
+        ~theorem:spec.theorem ~config:spec.config cfg
+    @ Checks.priority runs
+  in
+  { spec; runs = List.length runs; store; cfg; findings }
+
+let errors o =
+  List.filter (fun (f : Checks.finding) -> f.Checks.severity = Checks.Error) o.findings
+
+let warnings o =
+  List.filter (fun (f : Checks.finding) -> f.Checks.severity = Checks.Warning) o.findings
+
+let ok o = errors o = []

@@ -1,0 +1,46 @@
+(** The model-conformance linter, end to end.
+
+    A {!spec} names a workload (fresh programs per replay, like an
+    exploration scenario) together with the theorem preconditions it
+    claims; {!run} replays it under the schedule battery
+    ({!Recorder.battery}), folds the replays into an abstract store and
+    CFG, and runs the four checkers ({!Checks}). The curated specs for
+    the paper's algorithms live in [Hwf_workload.Registry]; known-bad
+    specs for testing the checkers live in the corpus library under
+    [test/lint_corpus/]. *)
+
+open Hwf_sim
+
+type spec = {
+  name : string;
+  config : Config.t;
+  make : unit -> (unit -> unit) array;
+      (** Must build fresh shared state per call (replays are
+          independent runs). *)
+  expect : Checks.expectation;
+      (** Declared per-invocation statement constant. *)
+  min_quantum : int;
+      (** The theorem's [Q >= ...] precondition on [config.quantum]. *)
+  theorem : string;  (** For messages, e.g. ["Theorem 1"]. *)
+  fair_only : bool;
+      (** Restrict the battery to fair schedules (helping subjects). *)
+  step_limit : int;  (** Per-replay statement budget. *)
+}
+
+type outcome = {
+  spec : spec;
+  runs : int;  (** Replays performed (the consumed branch budget). *)
+  store : Astore.t;
+  cfg : Cfg.t;
+  findings : Checks.finding list;
+}
+
+val run : ?budget:int -> spec -> outcome
+(** Replay, fold, check. [budget] bounds the schedule battery
+    (default 12). *)
+
+val errors : outcome -> Checks.finding list
+val warnings : outcome -> Checks.finding list
+
+val ok : outcome -> bool
+(** No [Error]-severity findings. *)

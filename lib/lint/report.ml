@@ -1,0 +1,120 @@
+open Hwf_sim
+module Jsonl = Hwf_obs.Jsonl
+
+let pp_outcome ppf (o : Lint.outcome) =
+  let errors = Lint.errors o and warnings = Lint.warnings o in
+  Fmt.pf ppf "@[<v>lint %s (%s): %s — %d replays, derived c=%d, %d error%s, %d warning%s@,"
+    o.Lint.spec.Lint.name o.Lint.spec.Lint.theorem
+    (if Lint.ok o then "OK" else "FAIL")
+    o.Lint.runs o.Lint.cfg.Cfg.derived_c (List.length errors)
+    (if List.length errors = 1 then "" else "s")
+    (List.length warnings)
+    (if List.length warnings = 1 then "" else "s");
+  List.iter
+    (fun (s : Cfg.shape) ->
+      Fmt.pf ppf "  inv '%s': max %d stmts, %d completed@," s.Cfg.s_label
+        s.Cfg.s_max_stmts s.Cfg.s_completed)
+    o.Lint.cfg.Cfg.shapes;
+  List.iter
+    (fun (l : Cfg.loop) ->
+      Fmt.pf ppf "  loop p%d '%s' at '%s': %a@," (l.Cfg.l_pid + 1) l.Cfg.l_label
+        l.Cfg.l_head Cfg.pp_class l.Cfg.l_class)
+    o.Lint.cfg.Cfg.loops;
+  List.iter (fun f -> Fmt.pf ppf "  %a@," Checks.pp_finding f) o.Lint.findings;
+  Fmt.pf ppf "@]"
+
+(* ---- JSONL (schema hwf-lint/1; see docs/OBSERVABILITY.md) ----
+   Same determinism contract as the trace/metrics writers: fixed field
+   order, ints/bools/strings only, rows sorted — byte-equal output for
+   equal inputs. *)
+
+let header (o : Lint.outcome) =
+  let config = o.Lint.spec.Lint.config in
+  Jsonl.obj
+    [
+      ("schema", Jsonl.str Jsonl.lint_schema);
+      ("subject", Jsonl.str o.Lint.spec.Lint.name);
+      ("theorem", Jsonl.str o.Lint.spec.Lint.theorem);
+      ("n", string_of_int (Config.n config));
+      ("processors", string_of_int config.Config.processors);
+      ("quantum", string_of_int config.Config.quantum);
+      ("levels", string_of_int config.Config.levels);
+    ]
+
+let to_buffer buf (o : Lint.outcome) =
+  let line s =
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  line (header o);
+  line
+    (Jsonl.obj
+       [
+         ("l", Jsonl.str "summary");
+         ("ok", Jsonl.bool (Lint.ok o));
+         ("runs", string_of_int o.Lint.runs);
+         ("derived_c", string_of_int o.Lint.cfg.Cfg.derived_c);
+         ("min_quantum", string_of_int o.Lint.spec.Lint.min_quantum);
+         ("errors", string_of_int (List.length (Lint.errors o)));
+         ("warnings", string_of_int (List.length (Lint.warnings o)));
+       ]);
+  List.iter
+    (fun (f : Checks.finding) ->
+      line
+        (Jsonl.obj
+           [
+             ("l", Jsonl.str "finding");
+             ("rule", Jsonl.str f.Checks.rule);
+             ("severity", Jsonl.str (Fmt.str "%a" Checks.pp_severity f.Checks.severity));
+             ("pid", string_of_int f.Checks.pid);
+             ("detail", Jsonl.str f.Checks.detail);
+           ]))
+    o.Lint.findings;
+  List.iter
+    (fun (s : Cfg.shape) ->
+      line
+        (Jsonl.obj
+           [
+             ("l", Jsonl.str "inv");
+             ("label", Jsonl.str s.Cfg.s_label);
+             ("max_stmts", string_of_int s.Cfg.s_max_stmts);
+             ("completed", string_of_int s.Cfg.s_completed);
+           ]))
+    o.Lint.cfg.Cfg.shapes;
+  List.iter
+    (fun (l : Cfg.loop) ->
+      line
+        (Jsonl.obj
+           [
+             ("l", Jsonl.str "loop");
+             ("pid", string_of_int l.Cfg.l_pid);
+             ("label", Jsonl.str l.Cfg.l_label);
+             ("head", Jsonl.str l.Cfg.l_head);
+             ("class", Jsonl.str (Fmt.str "%a" Cfg.pp_class l.Cfg.l_class));
+           ]))
+    o.Lint.cfg.Cfg.loops;
+  List.iter
+    (fun (v, (i : Astore.info)) ->
+      line
+        (Jsonl.obj
+           [
+             ("l", Jsonl.str "var");
+             ("var", Jsonl.str v);
+             ("readers", string_of_int (List.length (Astore.readers o.Lint.store v)));
+             ("writers", string_of_int (List.length (Astore.writers o.Lint.store v)));
+             ("peeks", string_of_int i.Astore.peeks);
+             ("pokes", string_of_int i.Astore.pokes);
+             ("instrumented", string_of_int i.Astore.instrumented);
+           ]))
+    (Astore.vars o.Lint.store)
+
+let to_string (outcomes : Lint.outcome list) =
+  let buf = Buffer.create 4096 in
+  List.iter (fun o -> to_buffer buf o) outcomes;
+  Buffer.contents buf
+
+let write ~path outcomes =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string outcomes))

@@ -1,0 +1,17 @@
+(** Lint output: human-readable text and JSONL (schema [hwf-lint/1]).
+
+    The JSONL form follows the observability layer's determinism
+    contract ([docs/OBSERVABILITY.md]): one object per line, fixed
+    field order, ints/bools/strings only, rows sorted — so the bytes
+    are a function of the outcomes alone. Per outcome: a header line
+    (schema + subject + machine shape), a ["summary"] row, then
+    ["finding"], ["inv"], ["loop"] and ["var"] rows. *)
+
+val pp_outcome : Lint.outcome Fmt.t
+
+val to_string : Lint.outcome list -> string
+(** Concatenated JSONL documents, one per outcome, each line
+    ['\n']-terminated. *)
+
+val write : path:string -> Lint.outcome list -> unit
+(** [to_string] to [path] (truncating). *)

@@ -32,6 +32,7 @@ let obj fields =
 
 let trace_schema = "hwf-trace/1"
 let metrics_schema = "hwf-metrics/1"
+let lint_schema = "hwf-lint/1"
 
 let config_fields (config : Config.t) =
   [

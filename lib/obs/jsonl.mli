@@ -18,6 +18,26 @@ val trace_schema : string
 val metrics_schema : string
 (** ["hwf-metrics/1"]. *)
 
+val lint_schema : string
+(** ["hwf-lint/1"] — emitted by the conformance linter
+    ([Hwf_lint.Report]); the schema constant lives here so every JSONL
+    schema tag has one home. *)
+
+(** {1 Emission helpers}
+
+    Shared by the writers in this module and by other JSONL producers
+    (the lint reporter). Same determinism contract: callers fix field
+    order, values are ints/bools/strings/nested objects only. *)
+
+val str : string -> string
+(** A JSON string literal (quoted, escaped). *)
+
+val bool : bool -> string
+(** ["true"]/["false"]. *)
+
+val obj : (string * string) list -> string
+(** One-line JSON object from already-rendered values, in list order. *)
+
 val event : Trace.event -> string
 (** One event as a single-line JSON object (no trailing newline). *)
 

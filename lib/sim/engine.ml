@@ -143,6 +143,15 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
     end
   in
   let is_pending c = c.mid_inv && proc_stmts.(c.info.processor) > c.stamp in
+  (* Process-context marking (Runtime): the flag is true exactly while
+     body code runs, so Shared can police its harness-only accessors.
+     Every resume sets it; every handler entry clears it (handler code —
+     including Trace appends and the scheduler loop — is harness
+     context). *)
+  let resume k v =
+    Runtime.enter_process ();
+    continue k v
+  in
   (* Eager shadow of the lazy pending derivation, maintained under
      [self_check] exactly as the pre-incremental engine maintained its
      per-cell flag. *)
@@ -171,6 +180,7 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
     {
       retc =
         (fun () ->
+          Runtime.exit_process ();
           let c = !cur in
           (* A body may return mid-invocation (statements with no closing
              [Inv_end]): its guarantee and preemption bookkeeping die with
@@ -180,18 +190,23 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
           set_guarantee c 0;
           if self_check then eager_pending.(c.info.pid) <- false;
           set_state c Finished);
-      exnc = (fun e -> raise e);
+      exnc =
+        (fun e ->
+          Runtime.exit_process ();
+          raise e);
       effc =
         (fun (type a) (e : a Effect.t) ->
           match e with
           | Eff.Step op ->
             Some
               (fun (k : (a, unit) continuation) ->
+                Runtime.exit_process ();
                 let c = !cur in
                 set_state c (Ready (k, op)))
           | Eff.Inv_begin label ->
             Some
               (fun (k : (a, unit) continuation) ->
+                Runtime.exit_process ();
                 let c = !cur in
                 if c.mid_inv then
                   Fmt.invalid_arg "Eff.invocation: nested invocation %S in %s" label
@@ -201,22 +216,29 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
           | Eff.Inv_end label ->
             Some
               (fun (k : (a, unit) continuation) ->
+                Runtime.exit_process ();
                 end_inv !cur label;
-                continue k ())
+                resume k ())
           | Eff.Note text ->
             Some
               (fun (k : (a, unit) continuation) ->
+                Runtime.exit_process ();
                 Trace.add trace (Trace.Note { pid = !cur.info.pid; text });
-                continue k ())
+                resume k ())
           | Eff.Now ->
             Some
-              (fun (k : (a, unit) continuation) -> continue k (Trace.statements trace))
+              (fun (k : (a, unit) continuation) ->
+                Runtime.exit_process ();
+                resume k (Trace.statements trace))
           | Eff.Set_priority p ->
             Some
               (fun (k : (a, unit) continuation) ->
+                Runtime.exit_process ();
                 let c = !cur in
                 if c.mid_inv then
-                  invalid_arg "Eff.set_priority: cannot change priority mid-invocation";
+                  Fmt.invalid_arg
+                    "Eff.set_priority: %s cannot change priority mid-invocation"
+                    c.info.name;
                 if p < 1 || p > config.levels then
                   invalid_arg "Eff.set_priority: level out of range";
                 if p <> c.priority then begin
@@ -236,7 +258,7 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
                   | Boundary _ | Finished -> ()
                 end;
                 Trace.add trace (Trace.Set_priority { pid = c.info.pid; priority = p });
-                continue k ())
+                resume k ())
           | _ -> None);
     }
   in
@@ -244,6 +266,7 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
   Array.iteri
     (fun pid body ->
       cur := cells.(pid);
+      Runtime.enter_process ();
       match_with body () handler)
     programs;
   (* Axiom 2 enforcement may be gated off by fault injection; gate flips
@@ -422,7 +445,7 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
          (match c.state with
          | Boundary k ->
            cur := c;
-           continue k ()
+           resume k ()
          | Ready _ | Finished -> ());
          (match c.state with
          | Ready (k, op) ->
@@ -453,7 +476,7 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
                    eager_pending.(q.info.pid) <- true)
                cells;
            cur := c;
-           continue k ()
+           resume k ()
          | Boundary _ | Finished ->
            (* The wake consumed an empty invocation, or the body finished
               without executing a statement: the decision was a no-op. *)

@@ -6,14 +6,21 @@ let name t = t.name
 
 let read t =
   Eff.step (Op.read t.name);
+  Runtime.report ~var:t.name ~kind:Runtime.Read;
   t.v
 
 let write t x =
   Eff.step (Op.write t.name);
+  Runtime.report ~var:t.name ~kind:Runtime.Write;
   t.v <- x
 
-let peek t = t.v
-let poke t x = t.v <- x
+let peek t =
+  Runtime.harness_access ~var:t.name ~kind:Runtime.Peek;
+  t.v
+
+let poke t x =
+  Runtime.harness_access ~var:t.name ~kind:Runtime.Poke;
+  t.v <- x
 
 let array name n init =
   Array.init n (fun i -> make (Printf.sprintf "%s[%d]" name (i + 1)) (init i))

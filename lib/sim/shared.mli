@@ -31,10 +31,16 @@ val write : 'a t -> 'a -> unit
 val peek : 'a t -> 'a
 (** Read the current value {e without} consuming a statement. For test
     harnesses and checkers inspecting quiescent state only — never call
-    from process code. *)
+    from process code. The contract is enforced at run time: under an
+    active {!Engine.run}, a peek from process code raises
+    [Invalid_argument] unless it is wrapped in
+    {!Runtime.instrumentation} (deliberate zero-statement bookkeeping)
+    or a lint tap is installed ({!Runtime.with_tap}), in which case the
+    offence is reported to the linter instead. *)
 
 val poke : 'a t -> 'a -> unit
-(** Initialize/overwrite without consuming a statement. Harness use only. *)
+(** Initialize/overwrite without consuming a statement. Harness use
+    only; enforced at run time exactly like {!peek}. *)
 
 val array : string -> int -> (int -> 'a) -> 'a t array
 (** [array name n init] creates [n] shared variables named

@@ -1,13 +1,16 @@
 type violation = {
   at : int;
   pid : Proc.pid;
-  axiom : [ `Priority | `Quantum ];
+  axiom : [ `Priority | `Quantum | `Burst ];
   blame : Proc.pid;
 }
 
 let pp_violation ppf v =
   Fmt.pf ppf "@[stmt %d: %a violated %s of %a@]" v.at Proc.pp_pid v.pid
-    (match v.axiom with `Priority -> "Axiom 1 (priority)" | `Quantum -> "Axiom 2 (quantum)")
+    (match v.axiom with
+    | `Priority -> "Axiom 1 (priority)"
+    | `Quantum -> "Axiom 2 (quantum)"
+    | `Burst -> "Axiom 2 (burst)")
     Proc.pp_pid v.blame
 
 type pst = {
@@ -86,3 +89,114 @@ let check trace =
   List.rev !violations
 
 let is_well_formed trace = check trace = []
+
+(* Axiom-2 burst intervals, from the guarantee holder's perspective: a
+   process that resumes after a preemption is owed a burst of [Q]
+   statements' worth of same-priority exclusivity. [check] flags the
+   same executions statement-by-statement from the perpetrator's side;
+   this two-pass interval reconstruction is an independent second
+   opinion, so a bookkeeping bug in either implementation surfaces as a
+   disagreement (the lint suite cross-validates them). *)
+type burst = {
+  holder : Proc.pid;
+  processor : int;
+  level : int;  (* the holder's priority for the whole burst *)
+  lo : int;  (* first protected statement index *)
+  mutable hi : int;  (* first index past the burst (exclusive) *)
+}
+
+let axiom2_bursts trace =
+  let config = Trace.config trace in
+  let n = Config.n config in
+  if not config.axiom2 then []
+  else begin
+    let proc pid = config.procs.(pid) in
+    let priority = Array.map (fun (p : Proc.t) -> p.priority) config.procs in
+    let mid_inv = Array.make n false in
+    let pending = Array.make n false in
+    let budget = Array.make n 0 in
+    let open_burst : burst option array = Array.make n None in
+    let bursts = ref [] in
+    let stmts = ref 0 in
+    let close pid hi =
+      match open_burst.(pid) with
+      | None -> ()
+      | Some b ->
+        b.hi <- hi;
+        if b.hi > b.lo then bursts := b :: !bursts;
+        open_burst.(pid) <- None
+    in
+    (* Pass 1: reconstruct every burst interval. *)
+    Trace.iter
+      (fun ev ->
+        match ev with
+        | Trace.Inv_begin { pid; _ } | Trace.Inv_end { pid; _ } ->
+          mid_inv.(pid) <- (match ev with Trace.Inv_begin _ -> true | _ -> false);
+          pending.(pid) <- false;
+          budget.(pid) <- 0;
+          close pid !stmts
+        | Trace.Note _ -> ()
+        | Trace.Set_priority { pid; priority = p } -> priority.(pid) <- p
+        | Trace.Axiom2_gate { active; _ } ->
+          (* Guarantees granted while enforcement was off are void at
+             re-enable (see [check]); bursts close with them. *)
+          if active then
+            for pid = 0 to n - 1 do
+              budget.(pid) <- 0;
+              close pid !stmts
+            done
+        | Trace.Stmt { idx; pid; cost; _ } ->
+          stmts := idx + 1;
+          if pending.(pid) then begin
+            pending.(pid) <- false;
+            budget.(pid) <- config.quantum;
+            close pid idx;
+            if config.quantum > cost then
+              open_burst.(pid) <-
+                Some
+                  {
+                    holder = pid;
+                    processor = (proc pid).processor;
+                    level = priority.(pid);
+                    lo = idx + 1;
+                    hi = max_int;
+                  }
+          end;
+          budget.(pid) <- max 0 (budget.(pid) - cost);
+          if budget.(pid) = 0 then close pid (idx + 1);
+          for q = 0 to n - 1 do
+            if q <> pid && (proc q).processor = (proc pid).processor && mid_inv.(q)
+            then pending.(q) <- true
+          done)
+      trace;
+    for pid = 0 to n - 1 do
+      close pid max_int
+    done;
+    let bursts = List.rev !bursts in
+    (* Pass 2: any same-priority statement inside another process's
+       burst is a preemption of a guarantee holder mid-burst. *)
+    let violations = ref [] in
+    let priority = Array.map (fun (p : Proc.t) -> p.priority) config.procs in
+    let gate = ref true in
+    Trace.iter
+      (fun ev ->
+        match ev with
+        | Trace.Set_priority { pid; priority = p } -> priority.(pid) <- p
+        | Trace.Axiom2_gate { active; _ } -> gate := active
+        | Trace.Inv_begin _ | Trace.Inv_end _ | Trace.Note _ -> ()
+        | Trace.Stmt { idx; pid; _ } ->
+          if !gate then
+            List.iter
+              (fun b ->
+                if
+                  b.holder <> pid
+                  && b.processor = (proc pid).processor
+                  && b.level = priority.(pid)
+                  && b.lo <= idx && idx < b.hi
+                then
+                  violations :=
+                    { at = idx; pid; axiom = `Burst; blame = b.holder } :: !violations)
+              bursts)
+      trace;
+    List.rev !violations
+  end

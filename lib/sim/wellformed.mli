@@ -19,7 +19,9 @@
 type violation = {
   at : int;  (** Statement index of the offending execution. *)
   pid : Proc.pid;  (** The process that executed illegally. *)
-  axiom : [ `Priority | `Quantum ];
+  axiom : [ `Priority | `Quantum | `Burst ];
+      (** [`Priority]/[`Quantum] come from {!check}; [`Burst] comes from
+          the independent {!axiom2_bursts} reconstruction. *)
   blame : Proc.pid;  (** The process whose rights were violated. *)
 }
 
@@ -31,3 +33,19 @@ val check : Trace.t -> violation list
     not reported (that mode deliberately weakens the scheduler). *)
 
 val is_well_formed : Trace.t -> bool
+
+val axiom2_bursts : Trace.t -> violation list
+(** Axiom 2 re-checked from the guarantee {e holder}'s perspective: the
+    trace is first decomposed into burst intervals (a process resuming
+    after a preemption is owed [Q] statements' worth of same-priority
+    exclusivity, ending early at invocation end), then every statement
+    executed by a same-priority process on the same processor inside
+    another process's burst is reported as a [`Burst] violation.
+
+    On any trace this flags exactly the statement executions that
+    {!check} reports as [`Quantum] violations — the two implementations
+    are deliberately independent (statement-by-statement simulation vs
+    two-pass interval reconstruction) so that dynamic traces and the
+    static linter can cross-validate the scheduler's Axiom 2
+    bookkeeping. Suspended-gate windows ({!Trace.event.Axiom2_gate})
+    are honoured the same way as in {!check}. *)

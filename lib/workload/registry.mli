@@ -1,0 +1,34 @@
+(** The lint registry: one {!Hwf_lint.Lint.spec} per paper algorithm.
+
+    Each spec pairs a workload (the same bodies the scenarios and the
+    wait-freedom certifier run) with the theorem preconditions the rest
+    of the repository asserts about it — the same constants
+    ({!Hwf_core.Bounds.fig5_stmt_const} etc.) that size the certifier's
+    own-step bounds, so the linter and [Hwf_faults.Suite] cannot drift
+    apart:
+
+    - [fig3] — Theorem 1: exactly
+      {!Hwf_core.Uni_consensus.statements_per_decide} statements per
+      decide, [Q >= 8];
+    - [fig5] — Theorem 2: at most [c.V] statements per operation,
+      [Q >= c] with [c = Bounds.fig5_stmt_const];
+    - [fig7] — Theorem 4: at most [c.L] statements per decide,
+      [Q >= max (2c) (c(2P+1-C))] with [c = Bounds.fig7_stmt_const];
+    - [fig9] — Sec. 5: helping-based, no static per-invocation bound
+      (linted under fair schedules only);
+    - [universal] — counter over Fig. 3 cells: at most [c.N] statements
+      per increment, [Q >= 8] per cell. *)
+
+val fig3 : unit -> Hwf_lint.Lint.spec
+val fig5 : unit -> Hwf_lint.Lint.spec
+val fig7 : unit -> Hwf_lint.Lint.spec
+val fig9 : unit -> Hwf_lint.Lint.spec
+val universal : unit -> Hwf_lint.Lint.spec
+
+val all : unit -> Hwf_lint.Lint.spec list
+(** Every registered spec, in a fixed order. *)
+
+val names : string list
+(** The registered names, matching {!find}. *)
+
+val find : string -> Hwf_lint.Lint.spec option

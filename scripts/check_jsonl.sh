@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# JSONL schema sanity check for the hwf-trace/1 and hwf-metrics/1
-# exports (docs/OBSERVABILITY.md): every line must parse as a JSON
-# object; the first line must carry the "schema" key; every subsequent
-# line must be discriminated by "ev" (trace) or "m" (metrics),
-# matching the schema the header declared.
+# JSONL schema sanity check for the hwf-trace/1, hwf-metrics/1 and
+# hwf-lint/1 exports (docs/OBSERVABILITY.md): every line must parse as
+# a JSON object; the first line must carry the "schema" key; every
+# subsequent line must be discriminated by "ev" (trace), "m" (metrics)
+# or "l" (lint), matching the schema the header declared. Lint reports
+# concatenate one header-plus-rows block per linted subject, so a
+# fresh header line may restart a block mid-file.
 set -u
 
 if [ "$#" -lt 1 ]; then
@@ -28,17 +30,22 @@ except json.JSONDecodeError as e:
     sys.exit(f"{path}: line 1 is not valid JSON: {e}")
 if not isinstance(head, dict):
     sys.exit(f"{path}: line 1 is not a JSON object")
+keys = {"hwf-trace/1": "ev", "hwf-metrics/1": "m", "hwf-lint/1": "l"}
 schema = head.get("schema")
-if schema not in ("hwf-trace/1", "hwf-metrics/1"):
+if schema not in keys:
     sys.exit(f"{path}: line 1 has no known schema (got {schema!r})")
-key = "ev" if schema == "hwf-trace/1" else "m"
+key = keys[schema]
 
 for i, line in enumerate(lines[1:], start=2):
     try:
         row = json.loads(line)
     except json.JSONDecodeError as e:
         sys.exit(f"{path}: line {i} is not valid JSON: {e}")
-    if not isinstance(row, dict) or key not in row:
+    if not isinstance(row, dict):
+        sys.exit(f"{path}: line {i} is not a JSON object")
+    if row.get("schema") == schema and schema == "hwf-lint/1":
+        continue  # next subject's header block
+    if key not in row:
         sys.exit(f"{path}: line {i} lacks the {key!r} discriminator")
 
 print(f"{path}: OK ({schema}, {len(lines) - 1} rows)")

@@ -1,0 +1,183 @@
+open Hwf_sim
+open Hwf_core
+open Hwf_lint
+
+(* Known-bad process bodies, one per checker rule: the linter's
+   negative controls. Each case must produce at least one finding with
+   the expected rule; a checker that stops firing turns up here before
+   it silently waves a real violation through. *)
+
+type case = { spec : Lint.spec; expected_rule : string }
+
+let uni ?(levels = 1) ?(quantum = 8) n =
+  Config.uniprocessor ~quantum ~levels
+    (List.init n (fun pid -> Proc.make ~pid ~processor:0 ~priority:1 ()))
+
+let base ~name ~config ~make =
+  {
+    Lint.name;
+    config;
+    make;
+    expect = Checks.Helping;
+    min_quantum = 1;
+    theorem = "corpus";
+    fair_only = false;
+    step_limit = 2_000;
+  }
+
+(* A peek where a read belongs: the classic harness-escape bug. *)
+let peek_in_invocation () =
+  let config = uni 1 in
+  let make () =
+    let x = Shared.make "pk.x" 0 in
+    [|
+      (fun () ->
+        Eff.invocation "op" (fun () ->
+            ignore (Shared.read x);
+            ignore (Shared.peek x)));
+    |]
+  in
+  { spec = base ~name:"peek-in-invocation" ~config ~make; expected_rule = "atomicity.harness-access" }
+
+(* A poke between statements: a zero-cost write the scheduler never saw. *)
+let unannounced_poke () =
+  let config = uni 1 in
+  let make () =
+    let x = Shared.make "up.x" 0 in
+    [|
+      (fun () ->
+        Eff.invocation "op" (fun () ->
+            ignore (Shared.read x);
+            Shared.poke x 7;
+            ignore (Shared.read x)));
+    |]
+  in
+  { spec = base ~name:"unannounced-poke" ~config ~make; expected_rule = "atomicity.harness-access" }
+
+(* One announced statement whose execution touches two shared
+   variables — a DCAS smuggled into the single-word model. *)
+let multi_var_stmt () =
+  let config = uni 1 in
+  let make () =
+    let a = Shared.make "mv.a" 0 in
+    let b = Shared.make "mv.b" 0 in
+    [|
+      (fun () ->
+        Eff.invocation "dcas" (fun () ->
+            Eff.step (Op.rmw ~var:"mv.a" ~kind:"dcas");
+            ignore (Shared.peek a);
+            ignore (Shared.peek b)));
+    |]
+  in
+  { spec = base ~name:"multi-var-stmt" ~config ~make; expected_rule = "atomicity.multi-var" }
+
+(* A statement announced as a read of one variable while the body
+   accesses a different one. *)
+let var_mismatch () =
+  let config = uni 1 in
+  let make () =
+    let b = Shared.make "vm.b" 0 in
+    [|
+      (fun () ->
+        Eff.invocation "op" (fun () ->
+            Eff.step (Op.read "vm.a");
+            ignore (Shared.peek b)));
+    |]
+  in
+  { spec = base ~name:"var-mismatch" ~config ~make; expected_rule = "atomicity.var-mismatch" }
+
+(* A spin loop no other process can release: not wait-free, and no
+   helping argument applies — the replay budget runs out. *)
+let spin_unbounded () =
+  let config = uni 1 in
+  let make () =
+    let flag = Shared.make "sp.flag" 0 in
+    [|
+      (fun () ->
+        Eff.invocation "spin" (fun () ->
+            while Shared.read flag = 0 do
+              ()
+            done));
+    |]
+  in
+  { spec = base ~name:"spin-unbounded" ~config ~make; expected_rule = "loop-bound.unbounded" }
+
+(* A priority change inside an invocation — illegal under Sec. 5's
+   "a process's priority cannot change during an object invocation". *)
+let mid_inv_set_priority () =
+  let config = uni ~levels:2 1 in
+  let make () =
+    [|
+      (fun () ->
+        Eff.invocation "op" (fun () ->
+            Eff.local "s";
+            Eff.set_priority 2));
+    |]
+  in
+  {
+    spec = base ~name:"mid-inv-set-priority" ~config ~make;
+    expected_rule = "priority.mid-invocation";
+  }
+
+(* Fig. 3 with a wrong declared constant: the derived per-invocation
+   count (8) must contradict the declaration (7). *)
+let wrong_constant () =
+  let config = uni 2 in
+  let make () =
+    let obj = Uni_consensus.make "wc.cons" in
+    [|
+      (fun () -> Eff.invocation "decide" (fun () -> ignore (Uni_consensus.decide obj 100)));
+      (fun () -> Eff.invocation "decide" (fun () -> ignore (Uni_consensus.decide obj 101)));
+    |]
+  in
+  {
+    spec =
+      {
+        (base ~name:"wrong-constant" ~config ~make) with
+        Lint.expect = Checks.Exact (Uni_consensus.statements_per_decide - 1);
+        theorem = "Theorem 1 (misdeclared)";
+        step_limit = 10_000;
+      };
+    expected_rule = "quantum-shape.constant";
+  }
+
+(* Fig. 3 run at a quantum below the Theorem 1 precondition. *)
+let quantum_below () =
+  let config = uni ~quantum:4 2 in
+  let make () =
+    let obj = Uni_consensus.make "qb.cons" in
+    [|
+      (fun () -> Eff.invocation "decide" (fun () -> ignore (Uni_consensus.decide obj 100)));
+      (fun () -> Eff.invocation "decide" (fun () -> ignore (Uni_consensus.decide obj 101)));
+    |]
+  in
+  {
+    spec =
+      {
+        (base ~name:"quantum-below" ~config ~make) with
+        Lint.expect = Checks.Exact Uni_consensus.statements_per_decide;
+        min_quantum = Bounds.uniprocessor_consensus_quantum;
+        theorem = "Theorem 1";
+        step_limit = 10_000;
+      };
+    expected_rule = "quantum-shape.quantum";
+  }
+
+let all () =
+  [
+    peek_in_invocation ();
+    unannounced_poke ();
+    multi_var_stmt ();
+    var_mismatch ();
+    spin_unbounded ();
+    mid_inv_set_priority ();
+    wrong_constant ();
+    quantum_below ();
+  ]
+
+let fires ?budget (c : case) =
+  let o = Lint.run ?budget c.spec in
+  ( o,
+    List.exists
+      (fun (f : Checks.finding) -> f.Checks.rule = c.expected_rule)
+      (Lint.errors o) )

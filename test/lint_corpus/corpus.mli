@@ -1,0 +1,28 @@
+(** Known-bad lint subjects: negative controls for every checker rule.
+
+    Used by [test/test_lint.ml] and by [hybridsim lint --corpus] (the
+    CI negative-control step): each case must be {e rejected} by the
+    linter with a finding carrying the expected rule, proving the
+    checkers actually fire. *)
+
+open Hwf_lint
+
+type case = {
+  spec : Lint.spec;
+  expected_rule : string;  (** e.g. ["atomicity.harness-access"]. *)
+}
+
+val peek_in_invocation : unit -> case
+val unannounced_poke : unit -> case
+val multi_var_stmt : unit -> case
+val var_mismatch : unit -> case
+val spin_unbounded : unit -> case
+val mid_inv_set_priority : unit -> case
+val wrong_constant : unit -> case
+val quantum_below : unit -> case
+
+val all : unit -> case list
+
+val fires : ?budget:int -> case -> Lint.outcome * bool
+(** Lint the case; [true] iff an [Error] finding with the expected rule
+    was produced. *)

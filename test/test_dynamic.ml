@@ -63,8 +63,54 @@ let test_set_priority_mid_invocation_rejected () =
     |]
   in
   Alcotest.check_raises "rejected"
-    (Invalid_argument "Eff.set_priority: cannot change priority mid-invocation")
+    (Invalid_argument "Eff.set_priority: p1 cannot change priority mid-invocation")
     (fun () -> ignore (Engine.run ~config ~policy:Policy.first bodies))
+
+let test_set_priority_mid_invocation_names_offender () =
+  (* The error must name the process that performed the illegal change,
+     not just the first process of the configuration. *)
+  let config = Util.uni_config ~quantum:4 [ 1; 1 ] in
+  let config =
+    Config.uniprocessor ~quantum:4 ~levels:2 (Array.to_list config.Config.procs)
+  in
+  let bodies =
+    [|
+      (fun () -> Eff.invocation "ok" (fun () -> Eff.local "s"));
+      (fun () ->
+        Eff.invocation "bad" (fun () ->
+            Eff.local "s";
+            Eff.set_priority 2));
+    |]
+  in
+  Alcotest.check_raises "names p2"
+    (Invalid_argument "Eff.set_priority: p2 cannot change priority mid-invocation")
+    (fun () -> ignore (Engine.run ~config ~policy:Policy.first bodies))
+
+let test_set_priority_legal_change_recorded () =
+  (* A between-invocation change is legal, shows up as a Set_priority
+     trace event, and the trace stays well-formed. *)
+  let config = Util.uni_config ~quantum:4 [ 1 ] in
+  let config =
+    Config.uniprocessor ~quantum:4 ~levels:3 (Array.to_list config.Config.procs)
+  in
+  let bodies =
+    [|
+      (fun () ->
+        Eff.invocation "a" (fun () -> Eff.local "s");
+        Eff.set_priority 3;
+        Eff.invocation "b" (fun () -> Eff.local "s"));
+    |]
+  in
+  let r = Engine.run ~config ~policy:Policy.first bodies in
+  Util.checkb "finished" (Array.for_all Fun.id r.finished);
+  let changes =
+    Trace.fold
+      (fun acc ev ->
+        match ev with Trace.Set_priority { pid; priority } -> (pid, priority) :: acc | _ -> acc)
+      [] r.trace
+  in
+  Alcotest.(check (list (pair int int))) "one recorded change" [ (0, 3) ] changes;
+  Util.checkb "well-formed" (Wellformed.is_well_formed r.trace)
 
 let test_set_priority_range_check () =
   let config = Util.uni_config ~quantum:4 [ 1 ] in
@@ -187,6 +233,10 @@ let () =
           Alcotest.test_case "changes scheduling" `Quick test_set_priority_changes_scheduling;
           Alcotest.test_case "mid-invocation rejected" `Quick
             test_set_priority_mid_invocation_rejected;
+          Alcotest.test_case "mid-invocation names offender" `Quick
+            test_set_priority_mid_invocation_names_offender;
+          Alcotest.test_case "legal change recorded" `Quick
+            test_set_priority_legal_change_recorded;
           Alcotest.test_case "range check" `Quick test_set_priority_range_check;
           Alcotest.test_case "wellformed tracks changes" `Quick
             test_wellformed_tracks_dynamic_priority;
