@@ -63,11 +63,12 @@ let measure ~observer ~n ~processors ~target =
   assert (Array.for_all Fun.id r.Engine.finished);
   { n; processors; observer; statements = Trace.statements r.Engine.trace; seconds }
 
-let json_of_cells ~target cells =
+let json_of_cells ~target ~truncated cells =
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"schema\": \"hwf-bench-engine/1\",\n";
   Printf.bprintf b "  \"target_statements\": %d,\n" target;
+  Printf.bprintf b "  \"truncated\": %b,\n" truncated;
   Buffer.add_string b "  \"cells\": [\n";
   List.iteri
     (fun i c ->
@@ -83,19 +84,28 @@ let json_of_cells ~target cells =
 let run ~quick =
   Tbl.section "E19: engine scheduling throughput";
   let target = if quick then 24_000 else 120_000 in
-  let cells =
+  (* Graceful degradation: on SIGINT/SIGTERM the remaining cells are
+     dropped at the next cell boundary and the export is marked
+     truncated, instead of finishing a multi-second sweep the user has
+     already asked to stop (docs/ROBUSTNESS.md). *)
+  let params =
     List.concat_map
       (fun n ->
         List.concat_map
           (fun processors ->
             if processors > n then []
-            else
-              List.map
-                (fun observer -> measure ~observer ~n ~processors ~target)
-                [ false; true ])
+            else List.map (fun observer -> (n, processors, observer)) [ false; true ])
           [ 1; 4 ])
       [ 2; 8; 32; 128 ]
   in
+  let cells =
+    List.filter_map
+      (fun (n, processors, observer) ->
+        if Hwf_resil.Resil.interrupted () then None
+        else Some (measure ~observer ~n ~processors ~target))
+      params
+  in
+  let truncated = List.length cells < List.length params in
   Tbl.print
     ~title:
       (Printf.sprintf "statements/sec, ~%d statements per cell (seed 7%s)" target
@@ -114,9 +124,10 @@ let run ~quick =
        cells);
   let path = "BENCH_engine.json" in
   let oc = open_out path in
-  output_string oc (json_of_cells ~target cells);
+  output_string oc (json_of_cells ~target ~truncated cells);
   close_out oc;
   Tbl.note
-    "wrote %s; the N=128 rows are the scheduling-loop stress cells the\n\
+    "wrote %s%s; the N=128 rows are the scheduling-loop stress cells the\n\
      incremental-structure rewrite is measured by (EXPERIMENTS.md, E19)."
     path
+    (if truncated then " (TRUNCATED: interrupted mid-sweep)" else "")

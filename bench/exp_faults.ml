@@ -13,9 +13,20 @@
    hand-derived Fig. 3 schedule with the Axiom 2 quantum guarantee
    suspended. It must FAIL — the paper's Sec. 2 point is that the
    algorithms genuinely rely on Axiom 2, and a certifier that cannot see
-   them fail without it proves nothing. *)
+   them fail without it proves nothing.
+
+   Resilience (docs/ROBUSTNESS.md): with bench/main.ml's --checkpoint
+   BASE each subject journals its completed cells to
+   BASE.<subject>.ckpt.jsonl and --resume restores them, so a killed
+   campaign finishes from where it stopped; an interrupted run (SIGINT/
+   SIGTERM) stops at the next cell boundary and records a truncated
+   partial result instead of vanishing. Results also go to
+   BENCH_faults.json (schema hwf-bench-faults/1) — deterministic bytes
+   for a completed campaign, so CI can diff a kill+resume run against a
+   clean one. *)
 
 open Hwf_faults
+module Resil = Hwf_resil.Resil
 
 let seed = 41
 
@@ -30,28 +41,91 @@ let report_row report verdict =
     verdict;
   ]
 
+let ckpt_for name =
+  Option.map
+    (fun base -> Printf.sprintf "%s.%s.ckpt.jsonl" base name)
+    !Jobs.checkpoint
+
+let verdict_of report =
+  let c = report.Certify.coverage in
+  if not (Resil.complete c) then
+    Printf.sprintf "INCOMPLETE (%d/%d cells)" c.Resil.cells_done c.Resil.cells_total
+  else if Certify.certified report then "CERTIFIED"
+  else Printf.sprintf "FAILED (%d)" (List.length report.Certify.failures)
+
 let certify_row ?(quick = false) subject =
   let plans = Suite.campaign ~quick ~seed subject in
-  let report = Certify.certify ~jobs:!Jobs.n subject plans in
-  let verdict =
-    if Certify.certified report then "CERTIFIED"
-    else Printf.sprintf "FAILED (%d)" (List.length report.Certify.failures)
+  let report =
+    Certify.certify ~jobs:!Jobs.n
+      ?checkpoint:(ckpt_for subject.Certify.name)
+      ~resume:!Jobs.resume subject plans
   in
-  (report, report_row report verdict)
+  (report, report_row report (verdict_of report))
 
 let negative_row () =
   let subject = Suite.negative () in
-  let report = Certify.certify subject [ Suite.negative_plan ] in
+  let report =
+    Certify.certify
+      ?checkpoint:(ckpt_for subject.Certify.name)
+      ~resume:!Jobs.resume subject [ Suite.negative_plan ]
+  in
   let verdict =
-    if Certify.certified report then "CERTIFIED (BUG: control not rejected!)"
+    if not (Resil.complete report.Certify.coverage) then verdict_of report
+    else if Certify.certified report then "CERTIFIED (BUG: control not rejected!)"
     else "REJECTED (expected)"
   in
   (report, report_row report verdict)
+
+(* BENCH_faults.json: the machine-readable record of the campaign.
+   Deterministic — every value is an int, bool or string derived from
+   the (seeded) campaign, never from the wall clock — so two completed
+   runs of the same campaign produce identical bytes, including a
+   kill+--resume run vs a clean one (the CI kill/resume smoke diffs
+   exactly this file). A truncated run flips "truncated" and carries the
+   partial coverage instead. *)
+let json_of ~quick ~truncated reports neg_report =
+  let b = Buffer.create 1024 in
+  let coverage_fields c =
+    Printf.sprintf
+      "\"cells_total\": %d, \"cells_done\": %d, \"timeouts\": %d, \
+       \"errors\": %d, \"skipped\": %d, \"retries\": %d, \"degraded\": %d"
+      c.Resil.cells_total c.Resil.cells_done c.Resil.timeouts c.Resil.errors
+      c.Resil.skipped c.Resil.retries c.Resil.degraded
+  in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"hwf-bench-faults/1\",\n";
+  Printf.bprintf b "  \"seed\": %d,\n" seed;
+  Printf.bprintf b "  \"quick\": %b,\n" quick;
+  Printf.bprintf b "  \"truncated\": %b,\n" truncated;
+  Buffer.add_string b "  \"subjects\": [\n";
+  List.iteri
+    (fun i (r, _) ->
+      Printf.bprintf b
+        "    {\"name\": %S, \"plans\": %d, \"passed\": %d, \"blocked\": %d, \
+         \"worst_own_steps\": %d, \"certified\": %b, %s}%s\n"
+        r.Certify.subject r.Certify.plans r.Certify.passed r.Certify.blocked
+        r.Certify.worst_own_steps (Certify.certified r)
+        (coverage_fields r.Certify.coverage)
+        (if i = List.length reports - 1 then "" else ","))
+    reports;
+  Buffer.add_string b "  ],\n";
+  Printf.bprintf b "  \"negative_rejected\": %b,\n"
+    (not (Certify.certified neg_report));
+  Printf.bprintf b "  \"negative_coverage\": {%s}\n"
+    (coverage_fields neg_report.Certify.coverage);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
 
 let run ~quick =
   Tbl.section "E16: fault-injection campaigns / wait-freedom certifier";
   let reports_rows = List.map (certify_row ~quick) (Suite.positive_subjects ~seed ()) in
   let neg_report, neg_row = negative_row () in
+  let coverage =
+    List.fold_left
+      (fun acc (r, _) -> Resil.coverage_union acc r.Certify.coverage)
+      neg_report.Certify.coverage reports_rows
+  in
+  let truncated = not (Resil.complete coverage) in
   Tbl.print
     ~title:
       (Printf.sprintf
@@ -77,7 +151,20 @@ let run ~quick =
       (Plan.to_string f.Certify.plan)
       f.Certify.message
   | [] -> ());
-  if List.exists (fun (r, _) -> not (Certify.certified r)) reports_rows then
-    failwith "E16: a positive campaign failed certification";
-  if Certify.certified neg_report then
-    failwith "E16: the negative control was not rejected"
+  let path = "BENCH_faults.json" in
+  let oc = open_out path in
+  output_string oc (json_of ~quick ~truncated reports_rows neg_report);
+  close_out oc;
+  Tbl.note "wrote %s%s" path
+    (if truncated then " (TRUNCATED: partial campaign, see coverage fields)"
+     else "");
+  if truncated then
+    Fmt.pr "@.E16 incomplete: %a@." Resil.pp_coverage coverage
+  else begin
+    (* Only a completed campaign can be judged: a truncated one has an
+       untrustworthy failure list (bench/main.ml exits 2 for it). *)
+    if List.exists (fun (r, _) -> not (Certify.certified r)) reports_rows then
+      failwith "E16: a positive campaign failed certification";
+    if Certify.certified neg_report then
+      failwith "E16: the negative control was not rejected"
+  end

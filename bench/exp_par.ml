@@ -47,6 +47,7 @@ let explore_cell ~jobs ~name scenario =
          c1.Explore.message = c2.Explore.message
          && c1.Explore.decisions = c2.Explore.decisions
        | _ -> false)
+    && o1.Explore.coverage = o2.Explore.coverage
   in
   { name; units = o1.Explore.runs; seq_s; par_s; identical }
 
@@ -62,13 +63,18 @@ let certify_cell ~jobs ~quick ~seed ~name make_subject =
     && r1.Certify.worst_own_steps = r2.Certify.worst_own_steps
     && List.map failure_key r1.Certify.failures
        = List.map failure_key r2.Certify.failures
+    && r1.Certify.coverage = r2.Certify.coverage
   in
   { name; units = List.length plans; seq_s; par_s; identical }
 
 let random_cell ~jobs ~name ~runs ~seed scenario =
   let o1, seq_s = wall (fun () -> Explore.random_runs ~runs ~jobs:1 ~seed scenario) in
   let o2, par_s = wall (fun () -> Explore.random_runs ~runs ~jobs ~seed scenario) in
-  { name; units = runs; seq_s; par_s; identical = o1.Explore.runs = o2.Explore.runs }
+  let identical =
+    o1.Explore.runs = o2.Explore.runs
+    && o1.Explore.coverage = o2.Explore.coverage
+  in
+  { name; units = runs; seq_s; par_s; identical }
 
 let json_of_cells ~jobs cells =
   let b = Buffer.create 1024 in

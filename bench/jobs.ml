@@ -2,3 +2,10 @@
    certifier cells, E17's speedup campaign), set by bench/main.ml's
    --jobs flag. 1 = fully sequential, the historical behaviour. *)
 let n = ref 1
+
+(* Resilience knobs for the campaign experiments (E16), set by
+   bench/main.ml's --checkpoint/--resume flags: [checkpoint] is the base
+   path for per-subject hwf-ckpt/1 journals, [resume] restores completed
+   cells from them (see docs/ROBUSTNESS.md). *)
+let checkpoint : string option ref = ref None
+let resume = ref false

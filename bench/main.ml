@@ -8,7 +8,9 @@
      dune exec bench/main.exe -- --full       -- larger trial counts
      dune exec bench/main.exe -- table1 thm3  -- selected experiments
      dune exec bench/main.exe -- timing       -- bechamel suite only
-     dune exec bench/main.exe -- --csv ...    -- tables as CSV blocks *)
+     dune exec bench/main.exe -- --csv ...    -- tables as CSV blocks
+     dune exec bench/main.exe -- faults --checkpoint B [--resume]
+                                              -- E16 cell journaling *)
 
 open Hwf_sim
 open Hwf_workload
@@ -129,22 +131,38 @@ let () =
   let args, jobs = extract_jobs args in
   let args, trace_out = extract_opt "--trace-out" args in
   let args, metrics_out = extract_opt "--metrics-out" args in
+  let args, checkpoint = extract_opt "--checkpoint" args in
   Jobs.n := (match jobs with Some j when j >= 1 -> j | _ -> 1);
+  Jobs.checkpoint := checkpoint;
+  Jobs.resume := List.mem "--resume" args;
   let full = List.mem "--full" args in
   Tbl.csv_mode := List.mem "--csv" args;
   let quick = not full in
   let selected = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
   let want name = selected = [] || List.mem name selected in
+  (* SIGINT/SIGTERM stop the harness at the next cell boundary: the
+     running experiment flushes a truncated partial result (E16's
+     checkpoints let --resume finish it later) and the process exits 2
+     instead of dying mid-write (docs/ROBUSTNESS.md). *)
+  Hwf_resil.Resil.install_interrupt_handlers ();
+  let interrupted () = Hwf_resil.Resil.interrupted () in
   Printf.printf
     "hybridwf experiment harness (%s mode, jobs=%d)\nPaper: Anderson & Moir, PODC 1999\n"
     (if quick then "quick" else "full")
     !Jobs.n;
   List.iter
-    (fun (name, _desc, run) -> if want name && name <> "timing" then run ~quick)
+    (fun (name, _desc, run) ->
+      if want name && name <> "timing" && not (interrupted ()) then run ~quick)
     experiments;
-  if selected = [] || List.mem "timing" selected then begin
+  if (selected = [] || List.mem "timing" selected) && not (interrupted ()) then begin
     Tbl.section "timing (bechamel)";
     timing ()
   end;
   Exp_obs.export ~trace_out ~metrics_out;
+  if interrupted () then begin
+    Printf.printf
+      "\nInterrupted: remaining experiments skipped; partial results are\n\
+       marked truncated (rerun with --checkpoint/--resume to finish E16).\n";
+    exit Hwf_resil.Resil.exit_harness
+  end;
   Printf.printf "\nAll selected experiments completed.\n"

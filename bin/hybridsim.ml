@@ -11,6 +11,7 @@ open Cmdliner
 open Hwf_sim
 open Hwf_adversary
 open Hwf_workload
+module Resil = Hwf_resil.Resil
 
 (* ---- shared argument parsing ---- *)
 
@@ -62,6 +63,63 @@ let jobs_arg =
     value
     & opt int (Hwf_par.Pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* ---- resilience options (docs/ROBUSTNESS.md) ---- *)
+
+let checkpoint_arg =
+  let doc =
+    "Journal completed campaign cells to $(docv) (schema hwf-ckpt/1). With \
+     --resume, cells already journaled are restored instead of re-run."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from the --checkpoint journal: skip finished cells. The journal \
+     must match the campaign (same subject and parameters); a clean campaign \
+     killed and resumed reproduces the uninterrupted output."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let cell_wall_arg =
+  let doc =
+    "Wall-clock budget per campaign cell, in seconds. A cell exceeding it \
+     becomes a structured timeout (coverage drops below 100% and the exit \
+     code is 2) instead of hanging the campaign."
+  in
+  Arg.(value & opt (some float) None & info [ "cell-wall" ] ~docv:"SECS" ~doc)
+
+let retries_arg =
+  let doc =
+    "Attempts per cell (including the first) for timed-out or transiently \
+     failing cells, with exponential backoff; retried cells are demoted \
+     (no counterexample shrinking)."
+  in
+  Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N" ~doc)
+
+let retry_of_attempts n =
+  if n <= 1 then Resil.no_retry else { Resil.default_retry with attempts = n }
+
+(* Exit-code taxonomy (docs/ROBUSTNESS.md): 0 clean pass, 1 the subject
+   failed (counterexample / certification failure / lint error), 2 the
+   harness failed (timeout, interrupt, bad input, incomplete coverage).
+   [guarded] maps stray harness exceptions onto 2 so no subcommand can
+   leak an uncaught exception as a bogus "counterexample". *)
+let guarded f =
+  try f () with
+  | Resil.Deadline_exceeded m ->
+    Fmt.epr "harness timeout: %s@." m;
+    exit Resil.exit_harness
+  | e ->
+    Fmt.epr "harness error: %s@." (Printexc.to_string e);
+    exit Resil.exit_harness
+
+(* Incomplete coverage is a harness verdict, not a subject verdict. *)
+let exit_if_incomplete coverage =
+  if not (Resil.complete coverage) then begin
+    Fmt.epr "harness: incomplete campaign — %a@." Resil.pp_coverage coverage;
+    exit Resil.exit_harness
+  end
 
 let policy_arg =
   let doc = "Scheduling policy: random, rr (round-robin), first, stagger." in
@@ -195,12 +253,14 @@ let explore_cmd =
     let doc = "Write the (possibly shrunk) counterexample schedule to this file." in
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
   in
-  let action impl cnum quantum layout pb max_runs do_shrink save jobs trace_out
-      metrics_out =
+  let action impl cnum quantum layout pb max_runs do_shrink save jobs ckpt resume
+      cell_wall trace_out metrics_out =
+   guarded @@ fun () ->
+    Resil.install_interrupt_handlers ();
     let b = scenario_of impl cnum quantum layout in
     let o =
       Explore.explore ?preemption_bound:pb ~max_runs ~step_limit:8_000_000 ~jobs
-        b.Scenarios.scenario
+        ?cell_wall_s:cell_wall ?checkpoint:ckpt ~resume b.Scenarios.scenario
     in
     Fmt.pr "%a@." Explore.pp_outcome o;
     (* Exports are schedule-deterministic: the counterexample's replayed
@@ -224,7 +284,9 @@ let explore_cmd =
         metrics_out
     in
     match o.counterexample with
-    | None -> if trace_out <> None || metrics_out <> None then export []
+    | None ->
+      if trace_out <> None || metrics_out <> None then export [];
+      exit_if_incomplete o.Explore.coverage
     | Some c ->
       let schedule =
         if do_shrink then begin
@@ -244,13 +306,13 @@ let explore_cmd =
         Fmt.pr "saved to %s@." path
       | None -> ());
       export schedule;
-      exit 1
+      exit Resil.exit_counterexample
   in
   let term =
     Term.(
       const action $ impl_arg $ cnum_arg $ quantum_arg $ layout_arg $ pb_arg
-      $ max_runs_arg $ shrink_arg $ save_arg $ jobs_arg $ trace_out_arg
-      $ metrics_out_arg)
+      $ max_runs_arg $ shrink_arg $ save_arg $ jobs_arg $ checkpoint_arg
+      $ resume_arg $ cell_wall_arg $ trace_out_arg $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "explore"
@@ -537,20 +599,71 @@ let faults_cmd =
     in
     Arg.(value & flag & info [ "negative" ] ~doc)
   in
-  let action chosen seed full negative jobs trace_out metrics_out =
+  let livelock_arg =
+    let doc =
+      "Also run the watchdog negative control: a synthetic subject whose only \
+       cell livelocks. It must degrade to a structured timeout (coverage below \
+       100%, exit code 2), not hang. Implies a 2s --cell-wall when none is \
+       given."
+    in
+    Arg.(value & flag & info [ "inject-livelock" ] ~doc)
+  in
+  (* A cell that never terminates on its own: the step limit is set far
+     beyond any wall budget, so only the per-cell deadline (enforced by
+     the engine-observer guard) can stop it. *)
+  let livelock_subject () =
+    Certify.
+      {
+        name = "livelock";
+        config = Layout.to_config ~quantum:8 [ (0, 1) ];
+        policy = (fun () -> Policy.first);
+        make =
+          (fun () ->
+            {
+              programs =
+                [|
+                  (fun () ->
+                    Eff.invocation "spin" (fun () ->
+                        while true do
+                          Eff.local "s"
+                        done));
+                |];
+              check = (fun ~survivors:_ _ -> Ok ());
+            });
+        step_bound = max_int;
+        bound_desc = "none (synthetic livelock)";
+        step_limit = max_int;
+      }
+  in
+  let action chosen seed full negative inject_livelock jobs ckpt resume cell_wall
+      retries trace_out metrics_out =
+   guarded @@ fun () ->
+    Resil.install_interrupt_handlers ();
     let chosen =
       if chosen = [] then subjects
       else List.filter (fun (n, _) -> List.mem n chosen) subjects
+    in
+    let retry = retry_of_attempts retries in
+    let cell_wall =
+      match (cell_wall, inject_livelock) with None, true -> Some 2.0 | v, _ -> v
+    in
+    let ckpt_for name =
+      Option.map (fun base -> Printf.sprintf "%s.%s.ckpt.jsonl" base name) ckpt
     in
     let rows = ref [] and all_ok = ref true in
     let failures = ref [] in
     let total_plans = ref 0 and total_passed = ref 0 in
     let total_blocked = ref 0 and worst_steps = ref 0 in
+    let total_cov = ref (Resil.full_coverage 0) in
     List.iter
-      (fun (_, make_subject) ->
+      (fun (name, make_subject) ->
         let subject = make_subject ?seed:(Some seed) () in
         let plans = Suite.campaign ~quick:(not full) ~seed subject in
-        let report = Certify.certify ~jobs subject plans in
+        let report =
+          Certify.certify ~jobs ~retry ?cell_wall_s:cell_wall
+            ?checkpoint:(ckpt_for name) ~resume subject plans
+        in
+        total_cov := Resil.coverage_union !total_cov report.Certify.coverage;
         total_plans := !total_plans + report.Certify.plans;
         total_passed := !total_passed + report.Certify.passed;
         total_blocked := !total_blocked + report.Certify.blocked;
@@ -567,14 +680,37 @@ let faults_cmd =
             string_of_int report.Certify.blocked;
             string_of_int report.Certify.worst_own_steps;
             report.Certify.bound_desc;
-            (if Certify.certified report then "CERTIFIED"
+            (if not (Resil.complete report.Certify.coverage) then
+               Fmt.str "INCOMPLETE (%a)" Resil.pp_coverage report.Certify.coverage
+             else if Certify.certified report then "CERTIFIED"
              else Printf.sprintf "FAILED (%d)" (List.length report.Certify.failures));
           ]
           :: !rows)
       chosen;
+    if inject_livelock then begin
+      let subject = livelock_subject () in
+      let report =
+        Certify.certify ~retry ?cell_wall_s:cell_wall subject [ Hwf_faults.Plan.none ]
+      in
+      total_cov := Resil.coverage_union !total_cov report.Certify.coverage;
+      rows :=
+        [
+          report.Certify.subject;
+          "1";
+          string_of_int report.Certify.passed;
+          string_of_int report.Certify.blocked;
+          string_of_int report.Certify.worst_own_steps;
+          report.Certify.bound_desc;
+          (if Resil.complete report.Certify.coverage then
+             "COMPLETED (watchdog control bug!)"
+           else Fmt.str "TIMED OUT (expected; %a)" Resil.pp_coverage report.Certify.coverage);
+        ]
+        :: !rows
+    end;
     if negative then begin
       let subject = Suite.negative () in
       let report = Certify.certify subject [ Suite.negative_plan ] in
+      total_cov := Resil.coverage_union !total_cov report.Certify.coverage;
       let rejected = not (Certify.certified report) in
       if not rejected then all_ok := false;
       rows :=
@@ -620,20 +756,26 @@ let faults_cmd =
                let m = Hwf_obs.Metrics.of_trace r.Engine.trace in
                let m =
                  Hwf_obs.Metrics.with_harness m
-                   [
-                     ("faults.plans", !total_plans);
-                     ("faults.passed", !total_passed);
-                     ("faults.blocked", !total_blocked);
-                     ("faults.worst_own_steps", !worst_steps);
-                   ]
+                   ([
+                      ("faults.plans", !total_plans);
+                      ("faults.passed", !total_passed);
+                      ("faults.blocked", !total_blocked);
+                      ("faults.worst_own_steps", !worst_steps);
+                    ]
+                   @ Resil.coverage_rows ~prefix:"faults" !total_cov)
                in
                export_metrics path m)
              metrics_out));
-    if not !all_ok then exit 1
+    (* Harness verdict first: a campaign with incomplete coverage is a
+       partial result, so exit 2 regardless of what the evaluated cells
+       say; only a complete campaign may exit 1 on failures. *)
+    exit_if_incomplete !total_cov;
+    if not !all_ok then exit Resil.exit_counterexample
   in
   let term =
     Term.(
-      const action $ subject_arg $ seed_arg $ full_arg $ negative_arg $ jobs_arg
+      const action $ subject_arg $ seed_arg $ full_arg $ negative_arg $ livelock_arg
+      $ jobs_arg $ checkpoint_arg $ resume_arg $ cell_wall_arg $ retries_arg
       $ trace_out_arg $ metrics_out_arg)
   in
   Cmd.v

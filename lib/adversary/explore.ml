@@ -1,4 +1,6 @@
 open Hwf_sim
+module Resil = Hwf_resil.Resil
+module Checkpoint = Hwf_resil.Checkpoint
 
 type instance = {
   programs : (unit -> unit) array;
@@ -17,6 +19,7 @@ type outcome = {
   runs : int;
   exhaustive : bool;
   counterexample : counterexample option;
+  coverage : Resil.coverage;
 }
 
 (* One decision point of a completed run: the index chosen among
@@ -192,11 +195,19 @@ let rec atomic_min a v =
   let cur = Atomic.get a in
   if v < cur && not (Atomic.compare_and_set a cur v) then atomic_min a v
 
+(* Legacy (non-checkpointed) searches run as one completed unit; their
+   coverage is trivially full. Real per-cell accounting belongs to the
+   checkpointed path below. *)
 let outcome_of st =
-  { runs = st.sruns; exhaustive = st.sexhaustive; counterexample = st.scx }
+  {
+    runs = st.sruns;
+    exhaustive = st.sexhaustive;
+    counterexample = st.scx;
+    coverage = Resil.full_coverage 1;
+  }
 
-let explore ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
-    ?(step_limit = 100_000) ?(on_step_limit = `Fail) ?(jobs = 1) ?stats scenario =
+let explore_plain ?preemption_bound ~max_runs ~max_depth ~step_limit ~on_step_limit
+    ~jobs ?stats scenario =
   let claimed = Atomic.make 0 in
   let claim () =
     Atomic.get claimed < max_runs && Atomic.fetch_and_add claimed 1 < max_runs
@@ -205,7 +216,13 @@ let explore ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
   let never_aborted () = false in
   if jobs <= 1 then
     outcome_of (dfs ~claim ~aborted:never_aborted ~root:None scenario [||])
-  else if not (claim ()) then { runs = 0; exhaustive = false; counterexample = None }
+  else if not (claim ()) then
+    {
+      runs = 0;
+      exhaustive = false;
+      counterexample = None;
+      coverage = Resil.full_coverage 1;
+    }
   else begin
     (* Probe: canonical run #1 (the all-zeros schedule, i.e. the first
        run of subtree 0), which also reveals the top-level width. *)
@@ -222,6 +239,7 @@ let explore ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
         runs = 1;
         exhaustive = false;
         counterexample = Some { message; trace = result.trace; decisions };
+        coverage = Resil.full_coverage 1;
       }
     | Ok () -> (
       let width = if Vec.length slots = 0 then 0 else (Vec.get slots 0).candidates in
@@ -229,7 +247,13 @@ let explore ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
       if width <= 1 then
         (* No depth-0 branching to fan out; finish sequentially. *)
         match continuation with
-        | None -> { runs = 1; exhaustive = not probe_truncated; counterexample = None }
+        | None ->
+          {
+            runs = 1;
+            exhaustive = not probe_truncated;
+            counterexample = None;
+            coverage = Resil.full_coverage 1;
+          }
         | Some prefix ->
           let st = dfs ~claim ~aborted:never_aborted ~root:None scenario prefix in
           outcome_of
@@ -288,9 +312,213 @@ let explore ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
           runs = !total;
           exhaustive = !exhaustive && !cx = None;
           counterexample = !cx;
+          coverage = Resil.full_coverage 1;
         }
       end)
   end
+
+(* ---- checkpointed exploration (see docs/ROBUSTNESS.md) ----
+
+   With a checkpoint the search is always decomposed into top-level
+   subtrees — the journal's cells — even at [jobs = 1], because the
+   subtree is the unit of resume. Subtree [i] runs the DFS from prefix
+   [|i|], whose first run is exactly the schedule the sequential DFS
+   reaches when it first enters that subtree, so a clean completed
+   campaign merges to the plain outcome run for run. *)
+
+let strip_prefix ~prefix s =
+  let np = String.length prefix and ns = String.length s in
+  if ns >= np && String.sub s 0 np = prefix then Some (String.sub s np (ns - np))
+  else None
+
+let index_of_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1)
+  in
+  go 0
+
+(* [msg] is last: counterexample messages may contain any character
+   (the journal layer JSON-escapes; this layer only needs an
+   unambiguous last field). The schedule is the raw 0-based pid
+   sequence, space-separated. *)
+let payload_of_subtree st =
+  match st.scx with
+  | None ->
+    Printf.sprintf "runs=%d;exh=%d;cx=none" st.sruns (if st.sexhaustive then 1 else 0)
+  | Some c ->
+    Printf.sprintf "runs=%d;exh=0;cx=%s;msg=%s" st.sruns
+      (String.concat " " (List.map string_of_int c.decisions))
+      c.message
+
+(* A restored counterexample's trace is reconstructed by replaying its
+   decision sequence (scripted policy, deterministic fallback) — the
+   same mechanism Schedule.replay uses. *)
+let replay_decisions ~step_limit scenario decisions message =
+  let instance = scenario.make () in
+  let policy = Policy.scripted ~fallback:Policy.first decisions in
+  let result = Engine.run ~step_limit ~config:scenario.config ~policy instance.programs in
+  { message; trace = result.trace; decisions }
+
+let subtree_of_payload ~step_limit scenario payload =
+  let ( let* ) = Option.bind in
+  let int_kv key part =
+    Option.bind (strip_prefix ~prefix:(key ^ "=") part) int_of_string_opt
+  in
+  let* mi = index_of_sub payload ";cx=" in
+  let tail = String.sub payload (mi + 4) (String.length payload - mi - 4) in
+  let* sruns, sexh =
+    match String.split_on_char ';' (String.sub payload 0 mi) with
+    | [ r; e ] ->
+      let* r = int_kv "runs" r in
+      let* e = int_kv "exh" e in
+      Some (r, e = 1)
+    | _ -> None
+  in
+  if tail = "none" then Some { sruns; sexhaustive = sexh; scx = None }
+  else
+    let* mi = index_of_sub tail ";msg=" in
+    let message = String.sub tail (mi + 5) (String.length tail - mi - 5) in
+    let sched = String.sub tail 0 mi in
+    let* decisions =
+      List.fold_left
+        (fun acc p ->
+          let* acc = acc in
+          let* v = int_of_string_opt p in
+          Some (v :: acc))
+        (Some [])
+        (if sched = "" then [] else String.split_on_char ' ' sched)
+      |> Option.map List.rev
+    in
+    Some
+      {
+        sruns;
+        sexhaustive = false;
+        scx = Some (replay_decisions ~step_limit scenario decisions message);
+      }
+
+let campaign_id ~preemption_bound ~max_runs ~max_depth ~step_limit ~on_step_limit
+    scenario =
+  let params =
+    Printf.sprintf "%s|pb=%s|runs=%d|depth=%d|steps=%d|osl=%s" scenario.name
+      (match preemption_bound with None -> "-" | Some b -> string_of_int b)
+      max_runs max_depth step_limit
+      (match on_step_limit with `Fail -> "fail" | `Ignore -> "ignore")
+  in
+  Printf.sprintf "explore/%s/%s" scenario.name (Digest.to_hex (Digest.string params))
+
+let explore_checkpointed ~preemption_bound ~max_runs ~max_depth ~step_limit
+    ~on_step_limit ~jobs ~stats ~cell_wall_s ~path ~resume ~should_stop scenario =
+  (* Structural probe: discovers the top-level width only. Uncounted and
+     unrecorded — subtree 0 re-runs this schedule as its first run. *)
+  let probe_inst = scenario.make () in
+  let _, probe_slots, _ =
+    run_one ~preemption_bound ~max_depth ~step_limit ~config:scenario.config probe_inst
+      [||]
+  in
+  let width =
+    if Vec.length probe_slots = 0 then 1 else max 1 (Vec.get probe_slots 0).candidates
+  in
+  let campaign =
+    campaign_id ~preemption_bound ~max_runs ~max_depth ~step_limit ~on_step_limit
+      scenario
+  in
+  match Checkpoint.open_ ~path ~campaign ~cells:width ~resume with
+  | Error msg -> invalid_arg ("Explore.explore: " ^ msg)
+  | Ok (journal, entries) ->
+    let restored = Hashtbl.create 8 in
+    List.iter
+      (fun (e : Checkpoint.entry) ->
+        if e.idx >= 0 && e.idx < width then
+          match subtree_of_payload ~step_limit scenario e.payload with
+          | Some st -> Hashtbl.replace restored e.idx st
+          | None -> ())
+      entries;
+    (* Seed the global budget with the journaled work, so the resumed
+       search claims only the remaining runs. *)
+    let already = Hashtbl.fold (fun _ st acc -> acc + st.sruns) restored 0 in
+    let claimed = Atomic.make already in
+    let claim () =
+      Atomic.get claimed < max_runs && Atomic.fetch_and_add claimed 1 < max_runs
+    in
+    let best = Atomic.make max_int in
+    let eval i deadline =
+      let aborted () =
+        Atomic.get best < i || should_stop () || Resil.interrupted ()
+        (* Watchdog demotion: an expired deadline retires the subtree
+           with a partial, non-exhaustive result instead of hanging. *)
+        || Resil.expired deadline
+      in
+      let root = if width <= 1 then None else Some i in
+      let start = if width <= 1 then [||] else [| i |] in
+      let st =
+        subtree_dfs ~claim ~aborted ~stats ~preemption_bound ~max_depth ~step_limit
+          ~on_step_limit ~root scenario start
+      in
+      (match st.scx with Some _ -> atomic_min best i | None -> ());
+      (* Journal only untainted cells: a cell cut short by an interrupt
+         or stop request must re-run on resume, not restore partial. *)
+      if not (should_stop () || Resil.interrupted ()) then
+        Checkpoint.record journal ~idx:i
+          ~key:(Printf.sprintf "subtree-%d" i)
+          ~payload:(payload_of_subtree st);
+      st
+    in
+    let deadline_for ~attempt:_ =
+      match cell_wall_s with
+      | None -> Resil.no_deadline
+      | Some s -> Resil.deadline ~wall_s:s ()
+    in
+    let cells =
+      Hwf_par.Pool.map ~jobs ~batch:1 ?stats:(pool_of stats)
+        (fun i ->
+          match Hashtbl.find_opt restored i with
+          | Some st -> { Resil.outcome = Resil.Ok_cell st; attempts = 1 }
+          | None ->
+            if Resil.interrupted () || should_stop () then
+              { Resil.outcome = Resil.Skipped "interrupted"; attempts = 0 }
+            else Resil.run_cell ~retry:Resil.no_retry ~deadline_for (eval i))
+        (Array.init width Fun.id)
+    in
+    Checkpoint.close journal;
+    (* Canonical merge, stopping at the first cell without a result: a
+       counterexample found after a gap cannot be called canonical, so
+       the gap truncates the merge and coverage reports the rest. *)
+    let total = ref 0 and exhaustive = ref true and cx = ref None in
+    (try
+       Array.iter
+         (fun cell ->
+           match cell.Resil.outcome with
+           | Resil.Ok_cell st -> (
+             total := !total + st.sruns;
+             if not st.sexhaustive then exhaustive := false;
+             match st.scx with
+             | Some c ->
+               cx := Some c;
+               raise Exit
+             | None -> ())
+           | Resil.Timed_out _ | Resil.Errored _ | Resil.Skipped _ ->
+             exhaustive := false;
+             raise Exit)
+         cells
+     with Exit -> ());
+    {
+      runs = !total;
+      exhaustive = !exhaustive && !cx = None;
+      counterexample = !cx;
+      coverage = Resil.coverage_of_cells cells;
+    }
+
+let explore ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
+    ?(step_limit = 100_000) ?(on_step_limit = `Fail) ?(jobs = 1) ?stats ?cell_wall_s
+    ?checkpoint ?(resume = false) ?(should_stop = fun () -> false) scenario =
+  match checkpoint with
+  | None ->
+    explore_plain ?preemption_bound ~max_runs ~max_depth ~step_limit ~on_step_limit
+      ~jobs ?stats scenario
+  | Some path ->
+    explore_checkpointed ~preemption_bound ~max_runs ~max_depth ~step_limit
+      ~on_step_limit ~jobs ~stats ~cell_wall_s ~path ~resume ~should_stop scenario
 
 let iter_schedules ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
     ?(step_limit = 100_000) scenario ~f =
@@ -332,10 +560,22 @@ let random_runs ?(runs = 1_000) ?(step_limit = 100_000) ?(on_step_limit = `Fail)
   in
   if jobs <= 1 then begin
     let rec loop i =
-      if i >= runs then { runs = i; exhaustive = false; counterexample = None }
+      if i >= runs then
+        {
+          runs = i;
+          exhaustive = false;
+          counterexample = None;
+          coverage = Resil.full_coverage 1;
+        }
       else
         match one i with
-        | Some cx -> { runs = i + 1; exhaustive = false; counterexample = Some cx }
+        | Some cx ->
+          {
+            runs = i + 1;
+            exhaustive = false;
+            counterexample = Some cx;
+            coverage = Resil.full_coverage 1;
+          }
         | None -> loop (i + 1)
     in
     loop 0
@@ -359,13 +599,24 @@ let random_runs ?(runs = 1_000) ?(step_limit = 100_000) ?(on_step_limit = `Fail)
       (fun i r -> if !hit = None && r <> None then hit := Some (i, Option.get r))
       results;
     match !hit with
-    | Some (i, cx) -> { runs = i + 1; exhaustive = false; counterexample = Some cx }
-    | None -> { runs; exhaustive = false; counterexample = None }
+    | Some (i, cx) ->
+      {
+        runs = i + 1;
+        exhaustive = false;
+        counterexample = Some cx;
+        coverage = Resil.full_coverage 1;
+      }
+    | None ->
+      { runs; exhaustive = false; counterexample = None; coverage = Resil.full_coverage 1 }
   end
 
 let pp_outcome ppf o =
-  match o.counterexample with
+  (match o.counterexample with
   | None ->
     Fmt.pf ppf "OK after %d runs%s" o.runs
       (if o.exhaustive then " (exhaustive)" else "")
-  | Some c -> Fmt.pf ppf "FAIL after %d runs: %s" o.runs c.message
+  | Some c -> Fmt.pf ppf "FAIL after %d runs: %s" o.runs c.message);
+  (* Printed only when incomplete: clean-run output is unchanged, and a
+     partial result cannot be mistaken for a complete one. *)
+  if not (Resil.complete o.coverage) then
+    Fmt.pf ppf " [INCOMPLETE coverage: %a]" Resil.pp_coverage o.coverage

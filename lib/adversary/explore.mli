@@ -48,6 +48,11 @@ type outcome = {
   exhaustive : bool;
       (** True if the search space was fully covered within the bounds. *)
   counterexample : counterexample option;
+  coverage : Hwf_resil.Resil.coverage;
+      (** Harness-level accounting (see [docs/ROBUSTNESS.md]). Plain
+          searches run as one completed unit and report full coverage;
+          checkpointed searches report per-subtree cells, so an
+          interrupted or degraded campaign is visibly partial. *)
 }
 
 type stats
@@ -77,6 +82,10 @@ val explore :
   ?on_step_limit:[ `Fail | `Ignore ] ->
   ?jobs:int ->
   ?stats:stats ->
+  ?cell_wall_s:float ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?should_stop:(unit -> bool) ->
   scenario ->
   outcome
 (** DFS over schedules. [preemption_bound] (default unlimited) caps paid
@@ -99,7 +108,25 @@ val explore :
     of runs across all domains never exceeds [max_runs]; if the budget
     truncates the parallel search, the outcome reports
     [exhaustive = false] just as the sequential search does, but the
-    truncation point (and so [runs]) may differ. *)
+    truncation point (and so [runs]) may differ.
+
+    Resilience (see [docs/ROBUSTNESS.md]): [checkpoint] journals each
+    completed top-level subtree to an [hwf-ckpt/1] file, and forces the
+    subtree decomposition even at [jobs = 1] (the subtree is the unit
+    of resume; subtree [i]'s first run is exactly the schedule the
+    sequential DFS reaches on entering it, so a clean completed
+    campaign merges to the plain outcome run for run). With
+    [resume = true] journaled subtrees are restored instead of re-run —
+    their run counts re-seed the [max_runs] budget and a restored
+    counterexample's trace is rebuilt by replaying its decisions — and
+    the journal must match the campaign (same scenario name and search
+    bounds) or the call raises [Invalid_argument]. [cell_wall_s] gives
+    each subtree a wall-clock budget; an expired subtree is {e demoted}
+    (retired with a partial, non-exhaustive result) rather than hung.
+    [should_stop] (polled between runs, ORed with
+    {!Hwf_resil.Resil.interrupted}) stops the search cooperatively;
+    cells cut short by it are not journaled, so a resume re-runs them
+    in full. *)
 
 val iter_schedules :
   ?preemption_bound:int ->

@@ -1,5 +1,7 @@
 open Hwf_sim
 open Hwf_adversary
+module Resil = Hwf_resil.Resil
+module Checkpoint = Hwf_resil.Checkpoint
 
 type instance = {
   programs : (unit -> unit) array;
@@ -33,6 +35,7 @@ type report = {
   blocked : int;
   worst_own_steps : int;
   failures : failure list;
+  coverage : Resil.coverage;
 }
 
 let solo_own_steps subject =
@@ -99,19 +102,19 @@ let judge subject (inst : instance) (r : Engine.result) =
           | Error m -> Fail m))
     end
 
-let replay_judge subject plan schedule =
+let replay_judge ?observer subject plan schedule =
   let inst = subject.make () in
   let r =
-    Inject.replay ~step_limit:subject.step_limit ~plan ~config:subject.config ~schedule
-      inst.programs
+    Inject.replay ~step_limit:subject.step_limit ?observer ~plan ~config:subject.config
+      ~schedule inst.programs
   in
   judge subject inst r
 
-let run_plan subject plan =
+let run_plan ?observer subject plan =
   let inst = subject.make () in
   let result, decisions =
-    Inject.run_recorded ~step_limit:subject.step_limit ~plan ~config:subject.config
-      ~policy:(subject.policy ()) inst.programs
+    Inject.run_recorded ~step_limit:subject.step_limit ?observer ~plan
+      ~config:subject.config ~policy:(subject.policy ()) inst.programs
   in
   (judge subject inst result, result, decisions)
 
@@ -122,14 +125,19 @@ let run_plan subject plan =
    domain in any order and folded back in plan order. *)
 type cell = Cell_pass of { blocked : bool; worst : int } | Cell_fail of failure * int
 
-let run_cell ~shrink ~max_shrink_rounds subject plan =
-  let verdict, result, decisions = run_plan subject plan in
+let run_cell ~shrink ~max_shrink_rounds ?(deadline = Resil.no_deadline) subject plan =
+  (* One guard for the whole cell: the event count and fuel accumulate
+     across the initial run and every shrink replay, so the deadline
+     bounds the cell, not each engine run separately. *)
+  let observer = Resil.guard_observer deadline in
+  let verdict, result, decisions = run_plan ~observer subject plan in
   let worst = Array.fold_left max 0 result.Engine.own_steps in
   match verdict with
   | Pass { blocked } -> Cell_pass { blocked; worst }
   | Fail message ->
     let fails sched =
-      match replay_judge subject plan sched with Fail _ -> true | Pass _ -> false
+      Resil.check_deadline deadline;
+      match replay_judge ~observer subject plan sched with Fail _ -> true | Pass _ -> false
     in
     let schedule =
       if shrink then Shrink.shrink_by ~max_rounds:max_shrink_rounds ~fails decisions
@@ -139,38 +147,158 @@ let run_cell ~shrink ~max_shrink_rounds subject plan =
        plan; report the message the shrunk schedule actually
        produces. *)
     let message =
-      match replay_judge subject plan schedule with Fail m -> m | Pass _ -> message
+      match replay_judge ~observer subject plan schedule with
+      | Fail m -> m
+      | Pass _ -> message
     in
     Cell_fail ({ plan; message; schedule; shrunk_from = List.length decisions }, worst)
 
-let certify ?(shrink = true) ?(max_shrink_rounds = 200) ?(jobs = 1) ?pool_stats subject
-    plans =
-  let cells =
-    Hwf_par.Pool.map_list ~jobs ?stats:pool_stats
-      (run_cell ~shrink ~max_shrink_rounds subject)
-      plans
+(* ---- checkpoint payloads ----
+
+   One line per completed cell; [msg] is always the last field because
+   failure messages may contain any character (the journal layer handles
+   JSON escaping; this layer only needs an unambiguous last field). The
+   schedule is the raw 0-based pid sequence, space-separated. *)
+
+let payload_of_cell = function
+  | Cell_pass { blocked; worst } ->
+    Printf.sprintf "pass;blocked=%d;worst=%d" (if blocked then 1 else 0) worst
+  | Cell_fail (f, worst) ->
+    Printf.sprintf "fail;worst=%d;from=%d;sched=%s;msg=%s" worst f.shrunk_from
+      (String.concat " " (List.map string_of_int f.schedule))
+      f.message
+
+let strip_prefix ~prefix s =
+  let np = String.length prefix and ns = String.length s in
+  if ns >= np && String.sub s 0 np = prefix then Some (String.sub s np (ns - np))
+  else None
+
+let index_of_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1) in
+  go 0
+
+let cell_of_payload plan payload =
+  let ( let* ) = Option.bind in
+  let int_kv key part = Option.bind (strip_prefix ~prefix:(key ^ "=") part) int_of_string_opt in
+  match strip_prefix ~prefix:"pass;" payload with
+  | Some rest -> (
+    match String.split_on_char ';' rest with
+    | [ b; w ] ->
+      let* b = int_kv "blocked" b in
+      let* worst = int_kv "worst" w in
+      if b = 0 || b = 1 then Some (Cell_pass { blocked = b = 1; worst }) else None
+    | _ -> None)
+  | None ->
+    let* rest = strip_prefix ~prefix:"fail;" payload in
+    let* mi = index_of_sub rest ";msg=" in
+    let message = String.sub rest (mi + 5) (String.length rest - mi - 5) in
+    (match String.split_on_char ';' (String.sub rest 0 mi) with
+    | [ w; f; s ] ->
+      let* worst = int_kv "worst" w in
+      let* shrunk_from = int_kv "from" f in
+      let* sched = strip_prefix ~prefix:"sched=" s in
+      let* schedule =
+        List.fold_left
+          (fun acc p ->
+            let* acc = acc in
+            let* v = int_of_string_opt p in
+            Some (v :: acc))
+          (Some [])
+          (if sched = "" then [] else String.split_on_char ' ' sched)
+        |> Option.map List.rev
+      in
+      Some (Cell_fail ({ plan; message; schedule; shrunk_from }, worst))
+    | _ -> None)
+
+let campaign_id subject plans =
+  (* Identifies the run's parameters for resume validation: same
+     subject and same plan battery, position for position. *)
+  Printf.sprintf "certify/%s/%s" subject.name
+    (Digest.to_hex (Digest.string (String.concat "\n" (List.map Plan.to_string plans))))
+
+let certify ?(shrink = true) ?(max_shrink_rounds = 200) ?(jobs = 1) ?pool_stats
+    ?(retry = Resil.no_retry) ?cell_wall_s ?checkpoint ?(resume = false)
+    ?(should_stop = fun () -> false) ?sleep subject plans =
+  let plan_arr = Array.of_list plans in
+  let total = Array.length plan_arr in
+  let journal, restored =
+    match checkpoint with
+    | None -> (None, fun _ -> None)
+    | Some path -> (
+      match
+        Checkpoint.open_ ~path ~campaign:(campaign_id subject plans) ~cells:total ~resume
+      with
+      | Error msg -> invalid_arg ("Certify.certify: " ^ msg)
+      | Ok (t, entries) ->
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun (e : Checkpoint.entry) ->
+            if e.idx >= 0 && e.idx < total && e.key = Plan.to_string plan_arr.(e.idx) then
+              match cell_of_payload plan_arr.(e.idx) e.payload with
+              | Some c -> Hashtbl.replace tbl e.idx c
+              | None -> ())
+          entries;
+        (Some t, fun i -> Hashtbl.find_opt tbl i))
   in
+  let eval i plan =
+    (* Graceful degradation: a cell that exhausts its budget (or hits a
+       transient error) re-runs with shrinking demoted off — the shrink
+       replays are the expensive part — trading counterexample
+       minimality for campaign coverage. *)
+    let demoted = ref false in
+    let deadline_for ~attempt =
+      if attempt > 1 then demoted := true;
+      match cell_wall_s with
+      | None -> Resil.no_deadline
+      | Some s -> Resil.deadline ~wall_s:s ()
+    in
+    let rc =
+      Resil.run_cell ~retry ~deadline_for ?sleep (fun deadline ->
+          run_cell ~shrink:(shrink && not !demoted) ~max_shrink_rounds ~deadline subject
+            plan)
+    in
+    (match (journal, rc.Resil.outcome) with
+    | Some t, Resil.Ok_cell c ->
+      Checkpoint.record t ~idx:i ~key:(Plan.to_string plan) ~payload:(payload_of_cell c)
+    | _ -> ());
+    rc
+  in
+  let cells =
+    Hwf_par.Pool.map ~jobs ?stats:pool_stats
+      (fun (i, plan) ->
+        match restored i with
+        | Some c -> { Resil.outcome = Resil.Ok_cell c; attempts = 1 }
+        | None ->
+          if Resil.interrupted () || should_stop () then
+            { Resil.outcome = Resil.Skipped "interrupted"; attempts = 0 }
+          else eval i plan)
+      (Array.mapi (fun i p -> (i, p)) plan_arr)
+  in
+  Option.iter Checkpoint.close journal;
   let passed = ref 0 and blocked = ref 0 and worst = ref 0 in
   let failures = ref [] in
-  List.iter
-    (fun cell ->
-      match cell with
-      | Cell_pass { blocked = b; worst = w } ->
+  Array.iter
+    (fun rc ->
+      match rc.Resil.outcome with
+      | Resil.Ok_cell (Cell_pass { blocked = b; worst = w }) ->
         incr passed;
         if b then incr blocked;
         worst := max !worst w
-      | Cell_fail (f, w) ->
+      | Resil.Ok_cell (Cell_fail (f, w)) ->
         worst := max !worst w;
-        failures := f :: !failures)
+        failures := f :: !failures
+      | Resil.Timed_out _ | Resil.Errored _ | Resil.Skipped _ -> ())
     cells;
   {
     subject = subject.name;
     bound_desc = subject.bound_desc;
-    plans = List.length plans;
+    plans = total;
     passed = !passed;
     blocked = !blocked;
     worst_own_steps = !worst;
     failures = List.rev !failures;
+    coverage = Resil.coverage_of_cells cells;
   }
 
 let certified r = r.failures = []
@@ -181,9 +309,15 @@ let pp_failure ppf f =
     (Schedule.to_string f.schedule)
 
 let pp_report ppf r =
-  Fmt.pf ppf "@[<v>%s: %d/%d plans passed%s, worst own-steps %d (bound: %s)%a@]" r.subject
-    r.passed r.plans
+  Fmt.pf ppf "@[<v>%s: %d/%d plans passed%s, worst own-steps %d (bound: %s)%a%a@]"
+    r.subject r.passed r.plans
     (if r.blocked > 0 then Fmt.str " (%d with victim-blocked survivors)" r.blocked else "")
     r.worst_own_steps r.bound_desc
     Fmt.(list ~sep:nop (fun ppf f -> Fmt.pf ppf "@,%a" pp_failure f))
     r.failures
+    (* Coverage is printed only when the campaign is incomplete, so
+       clean-run output is unchanged and partial results are impossible
+       to mistake for complete ones. *)
+    (fun ppf c ->
+      if not (Resil.complete c) then Fmt.pf ppf "@,INCOMPLETE coverage: %a" Resil.pp_coverage c)
+    r.coverage

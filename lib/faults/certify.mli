@@ -63,6 +63,11 @@ type report = {
   blocked : int;  (** Passing runs with victim-blocked survivors. *)
   worst_own_steps : int;  (** Max own statements seen across all runs. *)
   failures : failure list;
+  coverage : Hwf_resil.Resil.coverage;
+      (** Harness-level accounting: which cells were actually evaluated
+          (vs timed out, errored or skipped on interrupt). A report with
+          incomplete coverage is a {e partial} result — [passed] and
+          [failures] only describe the evaluated cells. *)
 }
 
 val solo_own_steps : subject -> int array
@@ -72,10 +77,11 @@ val solo_own_steps : subject -> int array
 val judge : subject -> instance -> Engine.result -> verdict
 (** The three-verdict judgement described above, applied to one run. *)
 
-val run_plan : subject -> Plan.t -> verdict * Engine.result * Schedule.t
+val run_plan :
+  ?observer:(Trace.event -> unit) -> subject -> Plan.t -> verdict * Engine.result * Schedule.t
 (** One judged run under a plan, with its recorded decision sequence. *)
 
-val replay_judge : subject -> Plan.t -> Schedule.t -> verdict
+val replay_judge : ?observer:(Trace.event -> unit) -> subject -> Plan.t -> Schedule.t -> verdict
 (** Deterministic re-execution (fresh instance, scripted policy) — the
     predicate behind shrinking. *)
 
@@ -84,6 +90,12 @@ val certify :
   ?max_shrink_rounds:int ->
   ?jobs:int ->
   ?pool_stats:Hwf_par.Pool.stats ->
+  ?retry:Hwf_resil.Resil.retry ->
+  ?cell_wall_s:float ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?should_stop:(unit -> bool) ->
+  ?sleep:(float -> unit) ->
   subject ->
   Plan.t list ->
   report
@@ -102,7 +114,31 @@ val certify :
 
     [pool_stats] (off by default) accumulates the domain pool's
     occupancy counters for [hybridsim stats]; it never affects the
-    report. *)
+    report.
+
+    Resilience (see [docs/ROBUSTNESS.md]): every plan is one fault-
+    contained cell. [cell_wall_s] gives each cell a wall-clock budget,
+    enforced inside its engine runs via the observer hook and between
+    shrink replays — a livelocked cell becomes a structured timeout in
+    [coverage], not a hang. [retry] (default
+    {!Hwf_resil.Resil.no_retry}) re-runs timed-out/transiently-failed
+    cells with backoff; a retried cell is {e demoted} — shrinking is
+    disabled for it, trading counterexample minimality for coverage.
+    Exceptions escaping a cell are classified
+    ({!Hwf_resil.Resil.classify}) and folded into [coverage] as errors;
+    they never abort the other plans. Note that a counterexample is a
+    {e verdict}, never an exception — failed cells are successful
+    evaluations and appear in [failures] exactly as before.
+
+    [checkpoint] journals each completed cell to an [hwf-ckpt/1] file;
+    with [resume = true] the journal's cells are restored instead of
+    re-evaluated (the journal must match the campaign — same subject
+    and plan battery — or the call raises [Invalid_argument]). A clean
+    campaign killed and resumed yields a report identical to an
+    uninterrupted one. [should_stop] (polled before each cell, ORed
+    with {!Hwf_resil.Resil.interrupted}) stops claiming new cells;
+    completed cells are kept and journaled. [sleep] is the backoff
+    sleep, injectable for tests. *)
 
 val certified : report -> bool
 (** No failures. *)

@@ -38,14 +38,14 @@ let gate_fn (plan : Plan.t) =
       invalid_arg "Inject: Windows requires 0 <= off <= period, period > 0";
     Some (fun ~step -> (step + phase) mod period >= off)
 
-let run ?step_limit ~plan ~config ~policy programs =
-  Engine.run ?step_limit
+let run ?step_limit ?observer ~plan ~config ~policy programs =
+  Engine.run ?step_limit ?observer
     ?cost:(cost_fn plan ~config)
     ?halted:(halted_pred plan)
     ?axiom2_active:(gate_fn plan)
     ~config ~policy programs
 
-let run_recorded ?step_limit ~plan ~config ~policy programs =
+let run_recorded ?step_limit ?observer ~plan ~config ~policy programs =
   let decisions = ref [] in
   let recording =
     Policy.of_fun
@@ -57,9 +57,9 @@ let run_recorded ?step_limit ~plan ~config ~policy programs =
           r
         | None -> None)
   in
-  let result = run ?step_limit ~plan ~config ~policy:recording programs in
+  let result = run ?step_limit ?observer ~plan ~config ~policy:recording programs in
   (result, List.rev !decisions)
 
-let replay ?step_limit ~plan ~config ~schedule programs =
+let replay ?step_limit ?observer ~plan ~config ~schedule programs =
   let policy = Policy.scripted ~fallback:Policy.first schedule in
-  run ?step_limit ~plan ~config ~policy programs
+  run ?step_limit ?observer ~plan ~config ~policy programs

@@ -12,15 +12,20 @@ open Hwf_sim
 
 val run :
   ?step_limit:int ->
+  ?observer:(Trace.event -> unit) ->
   plan:Plan.t ->
   config:Config.t ->
   policy:Policy.t ->
   (unit -> unit) array ->
   Engine.result
-(** One run of [programs] under [plan]. *)
+(** One run of [programs] under [plan]. [observer] is passed through to
+    [Engine.run] — this is also the hook the resilience layer uses to
+    enforce wall-clock deadlines inside a run
+    ({!Hwf_resil.Resil.guard_observer}). *)
 
 val run_recorded :
   ?step_limit:int ->
+  ?observer:(Trace.event -> unit) ->
   plan:Plan.t ->
   config:Config.t ->
   policy:Policy.t ->
@@ -32,6 +37,7 @@ val run_recorded :
 
 val replay :
   ?step_limit:int ->
+  ?observer:(Trace.event -> unit) ->
   plan:Plan.t ->
   config:Config.t ->
   schedule:Proc.pid list ->

@@ -30,12 +30,30 @@ let rec note_error err idx e =
   | cur ->
     if not (Atomic.compare_and_set err cur (Some (idx, e))) then note_error err idx e
 
+(* Test-only injection point: called once per worker after its claim
+   loop, before the stats flush — the retirement window the worker-death
+   regression tests exercise. Always [None] in production. *)
+let worker_retire_test_hook : (int -> unit) option ref = ref None
+
 let map ?jobs ?(batch = 1) ?stats f a =
   let n = Array.length a in
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if batch < 1 then invalid_arg "Pool.map: batch must be >= 1";
+  (* Size-check the stats histogram against the workers this call will
+     actually use, up front: a mismatch would otherwise silently fold
+     overflow workers into the last bucket (or, worse, surface as a
+     worker-side exception mid-run). *)
+  let workers = if jobs <= 1 || n <= 1 then 1 else 1 + min (jobs - 1) (n - 1) in
+  (match stats with
+  | Some s when Array.length s.per_worker < workers ->
+    invalid_arg
+      (Printf.sprintf
+         "Pool.map: stats sized for %d worker(s) but this call uses %d (make_stats \
+          ~jobs must cover map ~jobs)"
+         (Array.length s.per_worker) workers)
+  | Some _ | None -> ());
   if n = 0 then [||]
-  else if jobs <= 1 || n = 1 then begin
+  else if workers = 1 then begin
     (match stats with
     | None -> ()
     | Some s ->
@@ -53,40 +71,52 @@ let map ?jobs ?(batch = 1) ?stats f a =
          retirement: no shared-counter traffic in the claim loop, and
          nothing at all touched when [stats] is absent. *)
       let claims = ref 0 and evaluated = ref 0 and skipped = ref 0 in
-      let live = ref true in
-      while !live do
-        let lo = Atomic.fetch_and_add next batch in
-        if lo >= n then live := false
-        else begin
-          incr claims;
-          for i = lo to min n (lo + batch) - 1 do
-            (* A recorded error at index [j] makes every cell with a
-               higher index dead: the output array is discarded once
-               [err] is set, and only a lower-index failure can replace
-               [j] in [note_error]. Skipping those cells still re-raises
-               the minimum-index exception regardless of how domains
-               interleaved, without evaluating work whose result cannot
-               be observed. *)
-            match Atomic.get err with
-            | Some (j, _) when i > j -> incr skipped
-            | _ -> (
-              incr evaluated;
-              match f a.(i) with
-              | v -> out.(i) <- Some v
-              | exception e -> note_error err i e)
-          done
-        end
-      done;
-      match stats with
-      | None -> ()
-      | Some s ->
-        bump s.claims !claims;
-        bump s.evaluated !evaluated;
-        bump s.skipped !skipped;
-        bump s.per_worker.(min wid (Array.length s.per_worker - 1)) !evaluated
+      let body () =
+        let live = ref true in
+        while !live do
+          let lo = Atomic.fetch_and_add next batch in
+          if lo >= n then live := false
+          else begin
+            incr claims;
+            for i = lo to min n (lo + batch) - 1 do
+              (* A recorded error at index [j] makes every cell with a
+                 higher index dead: the output array is discarded once
+                 [err] is set, and only a lower-index failure can replace
+                 [j] in [note_error]. Skipping those cells still re-raises
+                 the minimum-index exception regardless of how domains
+                 interleaved, without evaluating work whose result cannot
+                 be observed. *)
+              match Atomic.get err with
+              | Some (j, _) when i > j -> incr skipped
+              | _ -> (
+                incr evaluated;
+                match f a.(i) with
+                | v -> out.(i) <- Some v
+                | exception e -> note_error err i e)
+            done
+          end
+        done;
+        (match !worker_retire_test_hook with None -> () | Some h -> h wid);
+        match stats with
+        | None -> ()
+        | Some s ->
+          bump s.claims !claims;
+          bump s.evaluated !evaluated;
+          bump s.skipped !skipped;
+          bump s.per_worker.(wid) !evaluated
+      in
+      (* Worker-death containment: an exception escaping the claim loop
+         {e outside} [f] (stats flush, claim bookkeeping, OOM in the
+         worker's own allocations) must not propagate out of
+         [Domain.join] — that would bypass [note_error]'s min-index
+         contract, and from worker 0 it would leak the spawned domains
+         unjoined. Record it at sentinel index [n]: every genuine cell
+         error (index < n) takes precedence, and if the worker death is
+         the only failure it is re-raised after all workers retire. *)
+      try body () with e -> note_error err n e
     in
     let spawned =
-      Array.init (min (jobs - 1) (n - 1)) (fun i -> Domain.spawn (worker (i + 1)))
+      Array.init (workers - 1) (fun i -> Domain.spawn (worker (i + 1)))
     in
     worker 0 ();
     Array.iter Domain.join spawned;

@@ -25,7 +25,14 @@
     recorded, cells with a {e higher} index are skipped rather than
     evaluated: their results could never be observed (the output array is
     discarded) and only a lower-index failure can displace the recorded
-    one, so skipping preserves the minimum-index contract. *)
+    one, so skipping preserves the minimum-index contract.
+
+    Worker death: an exception escaping a worker {e outside} [f] (claim
+    bookkeeping, stats flush, an allocation failure in the worker's own
+    code) is contained the same way — recorded at sentinel index
+    [Array.length a], past every genuine cell, so real cell errors take
+    precedence and the spawned domains are always joined before anything
+    is re-raised. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the pool width used by the
@@ -43,7 +50,10 @@ type stats
 
 val make_stats : jobs:int -> stats
 (** [jobs] sizes the per-worker histogram (worker 0 is the calling
-    domain). @raise Invalid_argument if [jobs < 1]. *)
+    domain). It must cover the [jobs] of every {!map} the value is
+    threaded through: {!map} size-checks at call time and raises rather
+    than fold overflow workers into the last bucket.
+    @raise Invalid_argument if [jobs < 1]. *)
 
 val stats_claims : stats -> int
 (** Batch claims (counter increments) across all workers. *)
@@ -57,8 +67,8 @@ val stats_skipped : stats -> int
 
 val stats_per_worker : stats -> int array
 (** Cells evaluated per worker slot — the pool's load-balance picture.
-    Workers beyond the [jobs] given to {!make_stats} fold into the last
-    slot. *)
+    Slot [i] is exactly worker [i]'s count: {!map} refuses stats too
+    small for its worker set, so no folding ever occurs. *)
 
 val map : ?jobs:int -> ?batch:int -> ?stats:stats -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs ~batch f a] evaluates [f] on every element of [a] using
@@ -66,7 +76,19 @@ val map : ?jobs:int -> ?batch:int -> ?stats:stats -> ('a -> 'b) -> 'a array -> '
     short array runs inline with no domains spawned) claiming [batch]
     indices per counter increment (default 1 — right for coarse cells
     like whole engine runs, where one claim per cell is noise; raise it
-    only for micro-cells). Result slot [i] is [f a.(i)]. *)
+    only for micro-cells). Result slot [i] is [f a.(i)].
+    @raise Invalid_argument if [stats] is sized for fewer workers than
+    this call uses. *)
+
+(**/**)
+
+val worker_retire_test_hook : (int -> unit) option ref
+(** Test-only: called with the worker id once per worker after its claim
+    loop, inside the worker-death containment window. Used by the
+    regression tests to simulate a worker dying outside [f]; must be
+    reset to [None] afterwards. *)
+
+(**/**)
 
 val map_list : ?jobs:int -> ?batch:int -> ?stats:stats -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over a list, preserving order. *)

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# JSONL schema sanity check for the hwf-trace/1, hwf-metrics/1 and
-# hwf-lint/1 exports (docs/OBSERVABILITY.md): every line must parse as
-# a JSON object; the first line must carry the "schema" key; every
-# subsequent line must be discriminated by "ev" (trace), "m" (metrics)
-# or "l" (lint), matching the schema the header declared. Lint reports
+# JSONL schema sanity check for the hwf-trace/1, hwf-metrics/1,
+# hwf-lint/1 and hwf-ckpt/1 exports (docs/OBSERVABILITY.md,
+# docs/ROBUSTNESS.md): every line must parse as a JSON object; the
+# first line must carry the "schema" key; every subsequent line must be
+# discriminated by "ev" (trace), "m" (metrics), "l" (lint) or "cell"
+# (checkpoint), matching the schema the header declared. Lint reports
 # concatenate one header-plus-rows block per linted subject, so a
-# fresh header line may restart a block mid-file.
+# fresh header line may restart a block mid-file. Checkpoint journals
+# are crash-tolerant by design: a partial *final* line (a write cut by
+# SIGKILL) is allowed for hwf-ckpt/1 only, mirroring the loader.
 set -u
 
 if [ "$#" -lt 1 ]; then
@@ -30,16 +33,24 @@ except json.JSONDecodeError as e:
     sys.exit(f"{path}: line 1 is not valid JSON: {e}")
 if not isinstance(head, dict):
     sys.exit(f"{path}: line 1 is not a JSON object")
-keys = {"hwf-trace/1": "ev", "hwf-metrics/1": "m", "hwf-lint/1": "l"}
+keys = {"hwf-trace/1": "ev", "hwf-metrics/1": "m", "hwf-lint/1": "l",
+        "hwf-ckpt/1": "cell"}
 schema = head.get("schema")
 if schema not in keys:
     sys.exit(f"{path}: line 1 has no known schema (got {schema!r})")
 key = keys[schema]
+if schema == "hwf-ckpt/1":
+    for field in ("campaign", "cells"):
+        if field not in head:
+            sys.exit(f"{path}: hwf-ckpt/1 header lacks {field!r}")
 
 for i, line in enumerate(lines[1:], start=2):
     try:
         row = json.loads(line)
     except json.JSONDecodeError as e:
+        if schema == "hwf-ckpt/1" and i == len(lines):
+            print(f"{path}: note: partial trailing line dropped (crash-cut write)")
+            break
         sys.exit(f"{path}: line {i} is not valid JSON: {e}")
     if not isinstance(row, dict):
         sys.exit(f"{path}: line {i} is not a JSON object")

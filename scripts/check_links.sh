@@ -10,8 +10,8 @@ fail=0
 # Every doc the README promises must actually exist (a rename that
 # forgets one of these is a dead tour, even if no link syntax broke).
 for required in docs/ARCHITECTURE.md docs/MODEL.md docs/ALGORITHMS.md \
-  docs/PARALLELISM.md docs/OBSERVABILITY.md docs/LINT.md DESIGN.md \
-  EXPERIMENTS.md; do
+  docs/PARALLELISM.md docs/OBSERVABILITY.md docs/LINT.md \
+  docs/ROBUSTNESS.md DESIGN.md EXPERIMENTS.md; do
   if [ ! -e "$required" ]; then
     echo "missing required doc: $required"
     fail=1

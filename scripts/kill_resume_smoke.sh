@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Kill-and-resume determinism smoke (docs/ROBUSTNESS.md): SIGTERM the
+# E16 certification campaign mid-flight while it journals per-cell
+# checkpoints, resume it, and require the resumed BENCH_faults.json to
+# be byte-identical to an uninterrupted run's — sequentially and with
+# --jobs 2. The interrupted run itself must degrade gracefully: flush
+# its checkpoints, write a truncated partial BENCH_faults.json, and
+# exit through the harness path (timeout(1) reports 124 when the
+# command is still winding down at the deadline, 2 when it exited on
+# its own after the first signal).
+set -u
+
+BIN=${BIN:-_build/default/bench/main.exe}
+if [ ! -x "$BIN" ]; then
+  echo "kill_resume_smoke: $BIN not built (dune build first)" >&2
+  exit 2
+fi
+BIN=$(readlink -f "$BIN")
+KILL_AFTER=${KILL_AFTER:-0.4}
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+cd "$work" || exit 2
+
+fail=0
+for jobs in 1 2; do
+  echo "kill_resume_smoke: jobs=$jobs"
+  rm -f ck.* BENCH_faults.json
+
+  if ! "$BIN" --full faults --jobs "$jobs" > clean.log 2>&1; then
+    echo "kill_resume_smoke: FAIL clean run (jobs=$jobs), see log:" >&2
+    tail -5 clean.log >&2
+    fail=1; continue
+  fi
+  mv BENCH_faults.json clean.json
+
+  timeout -s TERM "$KILL_AFTER" \
+    "$BIN" --full faults --jobs "$jobs" --checkpoint ck > kill.log 2>&1
+  killed=$?
+  case "$killed" in
+    0)   echo "kill_resume_smoke: note: campaign finished before the kill landed" ;;
+    2|124) ;;
+    *)
+      echo "kill_resume_smoke: FAIL killed run exited $killed (expected 2/124)" >&2
+      fail=1; continue ;;
+  esac
+  if [ "$killed" -ne 0 ] && ! grep -q '"truncated": true' BENCH_faults.json; then
+    echo "kill_resume_smoke: FAIL killed run did not mark its export truncated" >&2
+    fail=1; continue
+  fi
+
+  if ! "$BIN" --full faults --jobs "$jobs" --checkpoint ck --resume > resume.log 2>&1; then
+    echo "kill_resume_smoke: FAIL resume run (jobs=$jobs), see log:" >&2
+    tail -5 resume.log >&2
+    fail=1; continue
+  fi
+  if diff -q clean.json BENCH_faults.json >/dev/null; then
+    echo "kill_resume_smoke: OK jobs=$jobs (resumed output byte-identical)"
+  else
+    echo "kill_resume_smoke: FAIL jobs=$jobs: resumed BENCH_faults.json differs:" >&2
+    diff clean.json BENCH_faults.json | head -20 >&2
+    fail=1
+  fi
+done
+
+exit "$fail"

@@ -67,6 +67,49 @@ let test_pool_skips_past_error () =
   Util.checki "stats: evaluated" 1 (Hwf_par.Pool.stats_evaluated stats);
   Util.checki "stats: skipped" (n - 1) (Hwf_par.Pool.stats_skipped stats)
 
+let test_pool_worker_death_contained () =
+  (* Robustness regression: an exception raised outside [f] — in the
+     worker loop itself, here injected at retirement via the test hook —
+     used to escape through [Domain.join], bypassing the min-index
+     exception contract entirely. It must be recorded and re-raised by
+     [map] like any other error. *)
+  let hook wid = if wid > 0 then failwith "worker-death" in
+  Hwf_par.Pool.worker_retire_test_hook := Some hook;
+  Fun.protect
+    ~finally:(fun () -> Hwf_par.Pool.worker_retire_test_hook := None)
+    (fun () ->
+      let a = Array.init 64 Fun.id in
+      (match Hwf_par.Pool.map ~jobs:2 succ a with
+      | _ -> Alcotest.fail "expected the worker-death exception"
+      | exception Failure m ->
+        Util.check Alcotest.string "surfaced via map" "worker-death" m);
+      (* A real cell error has a lower index than the worker-death
+         sentinel, so it must win. *)
+      let f i = if i = 5 then failwith "cell5" else i in
+      match Hwf_par.Pool.map ~jobs:2 f a with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure m ->
+        Util.check Alcotest.string "cell error outranks worker death" "cell5" m)
+
+let test_pool_stats_size_mismatch () =
+  (* Robustness regression: stats sized for fewer workers than [map]
+     uses silently folded the overflow workers into the last bucket;
+     now the mismatch is refused at call time. *)
+  let stats = Hwf_par.Pool.make_stats ~jobs:2 in
+  let a = Array.init 32 Fun.id in
+  (match Hwf_par.Pool.map ~jobs:4 ~stats succ a with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument m ->
+    Util.checkb "message names the mismatch" (Util.contains m "Pool.map"));
+  (* A larger stats array is fine, and every count lands on the true
+     worker id — slots past the workers actually used stay zero. *)
+  let stats = Hwf_par.Pool.make_stats ~jobs:4 in
+  ignore (Hwf_par.Pool.map ~jobs:2 ~stats succ a);
+  let per_worker = Hwf_par.Pool.stats_per_worker stats in
+  Util.checki "slots sized by make_stats" 4 (Array.length per_worker);
+  Util.checki "counts on true worker ids" 32 (per_worker.(0) + per_worker.(1));
+  Util.checki "unused slots untouched" 0 (per_worker.(2) + per_worker.(3))
+
 let test_pool_stats () =
   let a = Array.init 100 Fun.id in
   let stats = Hwf_par.Pool.make_stats ~jobs:4 in
@@ -218,6 +261,10 @@ let () =
           Alcotest.test_case "stats hook" `Quick test_pool_stats;
           Alcotest.test_case "deterministic exceptions" `Quick
             test_pool_exception_deterministic;
+          Alcotest.test_case "worker death contained" `Quick
+            test_pool_worker_death_contained;
+          Alcotest.test_case "stats size mismatch refused" `Quick
+            test_pool_stats_size_mismatch;
         ] );
       ( "explore",
         [
