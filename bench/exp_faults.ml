@@ -56,7 +56,7 @@ let verdict_of report =
 let certify_row ?(quick = false) subject =
   let plans = Suite.campaign ~quick ~seed subject in
   let report =
-    Certify.certify ~jobs:!Jobs.n
+    Certify.certify ~jobs:!Jobs.n ?grain:!Jobs.grain
       ?checkpoint:(ckpt_for subject.Certify.name)
       ~resume:!Jobs.resume subject plans
   in

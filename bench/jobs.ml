@@ -3,6 +3,17 @@
    --jobs flag. 1 = fully sequential, the historical behaviour. *)
 let n = ref 1
 
+(* Pool cells-per-claim, set by --grain (None = automatic; see
+   docs/PARALLELISM.md's tuning guide). *)
+let grain : int option ref = ref None
+
+(* E17 knobs: --self-check re-runs every E17 cell at jobs=1 and verifies
+   the determinism contract (doubling the campaign's cost, so opt-in);
+   --min-speedup S (with --self-check) fails the harness when the
+   overall E17 speedup lands below S — CI's regression gate. *)
+let self_check = ref false
+let min_speedup : float option ref = ref None
+
 (* Resilience knobs for the campaign experiments (E16), set by
    bench/main.ml's --checkpoint/--resume flags: [checkpoint] is the base
    path for per-subject hwf-ckpt/1 journals, [resume] restores completed

@@ -10,7 +10,10 @@
      dune exec bench/main.exe -- timing       -- bechamel suite only
      dune exec bench/main.exe -- --csv ...    -- tables as CSV blocks
      dune exec bench/main.exe -- faults --checkpoint B [--resume]
-                                              -- E16 cell journaling *)
+                                              -- E16 cell journaling
+     dune exec bench/main.exe -- par --jobs 4 --self-check [--grain G]
+                  [--min-speedup S]           -- E17 with the determinism
+                                                 re-check + speedup gate *)
 
 open Hwf_sim
 open Hwf_workload
@@ -132,9 +135,17 @@ let () =
   let args, trace_out = extract_opt "--trace-out" args in
   let args, metrics_out = extract_opt "--metrics-out" args in
   let args, checkpoint = extract_opt "--checkpoint" args in
+  let args, grain = extract_opt "--grain" args in
+  let args, min_speedup = extract_opt "--min-speedup" args in
   Jobs.n := (match jobs with Some j when j >= 1 -> j | _ -> 1);
   Jobs.checkpoint := checkpoint;
   Jobs.resume := List.mem "--resume" args;
+  Jobs.grain :=
+    (match Option.bind grain int_of_string_opt with
+    | Some g when g >= 1 -> Some g
+    | _ -> None);
+  Jobs.self_check := List.mem "--self-check" args;
+  Jobs.min_speedup := Option.bind min_speedup float_of_string_opt;
   let full = List.mem "--full" args in
   Tbl.csv_mode := List.mem "--csv" args;
   let quick = not full in

@@ -56,13 +56,32 @@ let seed_arg =
 let jobs_arg =
   let doc =
     "Worker domains for the parallel search paths (explore subtrees, \
-     fault-plan cells). Results are identical to --jobs 1; the default is the \
-     machine's recommended domain count."
+     fault-plan cells), served from a work-stealing pool. Results are \
+     byte-identical to --jobs 1 at any setting; the default is the machine's \
+     recommended domain count."
   in
   Arg.(
     value
     & opt int (Hwf_par.Pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let grain_arg =
+  let doc =
+    "Cells per work-stealing claim. Smaller grains balance better, larger \
+     grains amortize claim overhead; the default picks automatically from the \
+     cell count and --jobs (docs/PARALLELISM.md has the tuning guide). Never \
+     affects results, only scheduling."
+  in
+  Arg.(value & opt (some int) None & info [ "grain" ] ~docv:"G" ~doc)
+
+let no_dpor_arg =
+  let doc =
+    "Disable sleep-set pruning and explore every schedule exhaustively. \
+     Pruning never changes verdicts or the first counterexample, so this is \
+     an escape hatch for cross-checking it (and the only option when a \
+     scenario's checks read the simulated clock mid-run)."
+  in
+  Arg.(value & flag & info [ "no-dpor" ] ~doc)
 
 (* ---- resilience options (docs/ROBUSTNESS.md) ---- *)
 
@@ -253,14 +272,15 @@ let explore_cmd =
     let doc = "Write the (possibly shrunk) counterexample schedule to this file." in
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
   in
-  let action impl cnum quantum layout pb max_runs do_shrink save jobs ckpt resume
-      cell_wall trace_out metrics_out =
+  let action impl cnum quantum layout pb max_runs do_shrink save jobs grain
+      no_dpor ckpt resume cell_wall trace_out metrics_out =
    guarded @@ fun () ->
     Resil.install_interrupt_handlers ();
     let b = scenario_of impl cnum quantum layout in
     let o =
       Explore.explore ?preemption_bound:pb ~max_runs ~step_limit:8_000_000 ~jobs
-        ?cell_wall_s:cell_wall ?checkpoint:ckpt ~resume b.Scenarios.scenario
+        ?grain ~dpor:(not no_dpor) ?cell_wall_s:cell_wall ?checkpoint:ckpt
+        ~resume b.Scenarios.scenario
     in
     Fmt.pr "%a@." Explore.pp_outcome o;
     (* Exports are schedule-deterministic: the counterexample's replayed
@@ -311,8 +331,9 @@ let explore_cmd =
   let term =
     Term.(
       const action $ impl_arg $ cnum_arg $ quantum_arg $ layout_arg $ pb_arg
-      $ max_runs_arg $ shrink_arg $ save_arg $ jobs_arg $ checkpoint_arg
-      $ resume_arg $ cell_wall_arg $ trace_out_arg $ metrics_out_arg)
+      $ max_runs_arg $ shrink_arg $ save_arg $ jobs_arg $ grain_arg $ no_dpor_arg
+      $ checkpoint_arg $ resume_arg $ cell_wall_arg $ trace_out_arg
+      $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "explore"
@@ -413,11 +434,11 @@ let cas_cmd =
   let runs_arg =
     Arg.(value & opt int 100 & info [ "runs" ] ~docv:"N" ~doc:"Random schedules to test.")
   in
-  let action quantum layout seed ops runs jobs trace_out metrics_out =
+  let action quantum layout seed ops runs jobs grain trace_out metrics_out =
     let n = List.length layout in
     let script = Scenarios.random_script ~seed ~n ~ops_per:ops in
     let s = Scenarios.hybrid_cas ~name:"cli" ~quantum ~layout ~script in
-    let o = Explore.random_runs ~runs ~step_limit:2_000_000 ~jobs ~seed s in
+    let o = Explore.random_runs ~runs ~step_limit:2_000_000 ~jobs ?grain ~seed s in
     Fmt.pr "%a@." Explore.pp_outcome o;
     (if trace_out <> None || metrics_out <> None then
        match o.counterexample with
@@ -484,7 +505,7 @@ let cas_cmd =
   let term =
     Term.(
       const action $ quantum_arg $ layout_arg $ seed_arg $ ops_arg $ runs_arg
-      $ jobs_arg $ trace_out_arg $ metrics_out_arg)
+      $ jobs_arg $ grain_arg $ trace_out_arg $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "cas"
@@ -635,8 +656,8 @@ let faults_cmd =
         step_limit = max_int;
       }
   in
-  let action chosen seed full negative inject_livelock jobs ckpt resume cell_wall
-      retries trace_out metrics_out =
+  let action chosen seed full negative inject_livelock jobs grain ckpt resume
+      cell_wall retries trace_out metrics_out =
    guarded @@ fun () ->
     Resil.install_interrupt_handlers ();
     let chosen =
@@ -660,7 +681,7 @@ let faults_cmd =
         let subject = make_subject ?seed:(Some seed) () in
         let plans = Suite.campaign ~quick:(not full) ~seed subject in
         let report =
-          Certify.certify ~jobs ~retry ?cell_wall_s:cell_wall
+          Certify.certify ~jobs ?grain ~retry ?cell_wall_s:cell_wall
             ?checkpoint:(ckpt_for name) ~resume subject plans
         in
         total_cov := Resil.coverage_union !total_cov report.Certify.coverage;
@@ -775,8 +796,8 @@ let faults_cmd =
   let term =
     Term.(
       const action $ subject_arg $ seed_arg $ full_arg $ negative_arg $ livelock_arg
-      $ jobs_arg $ checkpoint_arg $ resume_arg $ cell_wall_arg $ retries_arg
-      $ trace_out_arg $ metrics_out_arg)
+      $ jobs_arg $ grain_arg $ checkpoint_arg $ resume_arg $ cell_wall_arg
+      $ retries_arg $ trace_out_arg $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "faults"
@@ -807,8 +828,8 @@ let stats_cmd =
     let doc = "Schedule budget for the harness-statistics exploration." in
     Arg.(value & opt int 2_000 & info [ "max-runs" ] ~docv:"N" ~doc)
   in
-  let action impl cnum quantum layout policy seed ops max_runs jobs trace_out metrics_out
-      =
+  let action impl cnum quantum layout policy seed ops max_runs jobs grain no_dpor
+      trace_out metrics_out =
     let config = Layout.to_config ~quantum layout in
     let mpp = Config.max_per_processor config in
     (* One measured run, metrics collected live through the observer
@@ -903,7 +924,10 @@ let stats_cmd =
        exported. *)
     let estats = Explore.make_stats ~jobs scenario in
     let t0 = Unix.gettimeofday () in
-    let o = Explore.explore ~max_runs ~step_limit:2_000_000 ~jobs ~stats:estats scenario in
+    let o =
+      Explore.explore ~max_runs ~step_limit:2_000_000 ~jobs ?grain
+        ~dpor:(not no_dpor) ~stats:estats scenario
+    in
     let dt = Unix.gettimeofday () -. t0 in
     Fmt.pr "@.search: %d runs in %.3fs (%.0f runs/sec, jobs=%d)%s@." o.Explore.runs dt
       (if dt > 0. then float_of_int o.Explore.runs /. dt else 0.)
@@ -912,9 +936,11 @@ let stats_cmd =
     Array.iteri
       (fun i r -> if r > 0 then Fmt.pr "  subtree %d: %d runs@." i r)
       (Explore.stats_subtree_runs estats);
+    Fmt.pr "sleep sets: %d branches pruned@." (Explore.stats_pruned estats);
     let pool = Explore.stats_pool estats in
-    Fmt.pr "pool: %d claims, %d cells evaluated, %d skipped@."
+    Fmt.pr "pool: %d claims (%d stolen), %d cells evaluated, %d skipped@."
       (Hwf_par.Pool.stats_claims pool)
+      (Hwf_par.Pool.stats_steals pool)
       (Hwf_par.Pool.stats_evaluated pool)
       (Hwf_par.Pool.stats_skipped pool);
     Array.iteri
@@ -936,7 +962,8 @@ let stats_cmd =
   let term =
     Term.(
       const action $ impl_arg $ cnum_arg $ quantum_arg $ layout_arg $ policy_arg
-      $ seed_arg $ ops_arg $ max_runs_arg $ jobs_arg $ trace_out_arg $ metrics_out_arg)
+      $ seed_arg $ ops_arg $ max_runs_arg $ jobs_arg $ grain_arg $ no_dpor_arg
+      $ trace_out_arg $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "stats"

@@ -22,9 +22,93 @@ type outcome = {
   coverage : Resil.coverage;
 }
 
+(* ---- sleep-set pruning (dynamic partial-order reduction) ----
+
+   Two scheduler transitions are {e independent} when executing them in
+   either order yields the same engine state. In this engine all
+   scheduler accounting — preemption stamps, ready-level counts, quantum
+   guards — is per {e processor}, so transitions of processes on the
+   same processor never commute (each statement advances the preemption
+   accounting of every other process on that processor). Transitions on
+   {e different} processors commute exactly when their data footprints
+   do not conflict: same shared variable with at least one write. That
+   relation is computed per decision point from the policy view
+   ([next_op] of each candidate); anything unknown — a process not yet
+   [Ready], a missing [next_op] — is conservatively dependent.
+
+   The relation is only valid while programs never observe global state
+   outside their [Shared] footprints. The one such door in this codebase
+   is [Eff.now] (the global statement clock, counted per run by
+   [Trace.now_reads]): a run that read the clock taints the search —
+   see [explore] below for how taint is handled. *)
+
+(* Footprint of one candidate at one decision point. *)
+type cand = {
+  cpid : Proc.pid;
+  cproc : int;  (* processor *)
+  cvar : string option;  (* shared variable touched next, if any *)
+  cwrite : bool;
+  cknown : bool;  (* footprint known? unknown => conservatively dependent *)
+}
+
+(* Sleep sets are pid bitmasks in an [int]; pruning is disabled for
+   configurations wider than this (none exist in practice). *)
+let max_sleep_pids = 62
+
+let footprint (view : Policy.view) pid =
+  let pv = view.Policy.procs.(pid) in
+  match (pv.Policy.phase, pv.Policy.next_op) with
+  | Policy.Ready, Some op ->
+    let cvar, cwrite =
+      match op with
+      | Op.Read v -> (Some v, false)
+      | Op.Write v -> (Some v, true)
+      | Op.Rmw { var; _ } -> (Some var, true)
+      | Op.Local _ -> (None, false)
+    in
+    { cpid = pid; cproc = pv.Policy.processor; cvar; cwrite; cknown = true }
+  | _ ->
+    {
+      cpid = pid;
+      cproc = pv.Policy.processor;
+      cvar = None;
+      cwrite = true;
+      cknown = false;
+    }
+
+let independent a b =
+  a.cknown && b.cknown
+  && a.cproc <> b.cproc
+  &&
+  match (a.cvar, b.cvar) with
+  | Some x, Some y -> (not (a.cwrite || b.cwrite)) || not (String.equal x y)
+  | None, _ | _, None -> true
+
+let slept mask pid = mask land (1 lsl pid) <> 0
+
+(* First candidate not in the sleep set; if every candidate is slept
+   (possible but rare — sleeping is not closed under "something must
+   run") fall back to 0, which re-explores a covered schedule: redundant
+   but sound. *)
+let first_awake cands mask =
+  let n = Array.length cands in
+  let rec go j = if j >= n then 0 else if slept mask cands.(j).cpid then go (j + 1) else j in
+  go 0
+
+let no_cands : cand array = [||]
+
 (* One decision point of a completed run: the index chosen among
-   [candidates] alternatives, and the pid it mapped to. *)
-type slot = { choice : int; candidates : int; pid : Proc.pid }
+   [candidates] alternatives, the pid it mapped to, and — when pruning —
+   the candidates' footprints plus the sleep set this node was entered
+   with (both recomputed from the prefix on every replay, so they are
+   pure functions of the prefix and identical across jobs/grain). *)
+type slot = {
+  choice : int;
+  candidates : int;
+  pid : Proc.pid;
+  cands : cand array;  (* [no_cands] when pruning is off *)
+  sleep : int;  (* entry sleep set (pid bitmask); 0 when pruning is off *)
+}
 
 (* Search-layer counters (observability; see docs/OBSERVABILITY.md).
    Atomics because subtree DFSs run on pool domains. Off by default:
@@ -34,6 +118,7 @@ type slot = { choice : int; candidates : int; pid : Proc.pid }
    display-only. *)
 type stats = {
   subtree_runs : int Atomic.t array;  (* indexed by top-level choice *)
+  pruned : int Atomic.t;  (* sibling branches skipped as slept *)
   pool : Hwf_par.Pool.stats;
 }
 
@@ -43,10 +128,12 @@ let make_stats ?jobs scenario =
   in
   {
     subtree_runs = Array.init (max 1 (Config.n scenario.config)) (fun _ -> Atomic.make 0);
+    pruned = Atomic.make 0;
     pool = Hwf_par.Pool.make_stats ~jobs;
   }
 
 let stats_subtree_runs s = Array.map Atomic.get s.subtree_runs
+let stats_pruned s = Atomic.get s.pruned
 let stats_pool s = s.pool
 
 let record_run stats slots =
@@ -58,6 +145,11 @@ let record_run stats slots =
       if c < Array.length s.subtree_runs then
         ignore (Atomic.fetch_and_add s.subtree_runs.(c) 1)
     end
+
+let record_pruned stats k =
+  match stats with
+  | None -> ()
+  | Some s -> if k > 0 then ignore (Atomic.fetch_and_add s.pruned k)
 
 let pool_of stats = Option.map (fun s -> s.pool) stats
 
@@ -72,14 +164,50 @@ let verdict ~on_step_limit instance (result : Engine.result) =
       | Engine.All_halted), _ ->
       instance.check result)
 
+(* ---- per-worker scratch arenas ----
+
+   A worker performs thousands of engine runs; the trace event buffer
+   and the decision stack dominate its allocation. Each pool worker
+   keeps one arena (created on its own domain via [Pool.map_scratch])
+   and reuses both buffers across runs. The trace must be severed from
+   the arena whenever it escapes into a result that outlives the run —
+   a counterexample. *)
+type arena = { mutable atrace : Trace.t option; aslots : slot Vec.t }
+
+let make_arena () = { atrace = None; aslots = Vec.create () }
+
+let arena_trace arena config =
+  match arena.atrace with
+  | Some t -> t
+  | None ->
+    let t = Trace.create config in
+    arena.atrace <- Some t;
+    t
+
+let sever arena = arena.atrace <- None
+
 (* Run one schedule: follow [prefix] (indices into the candidate lists),
-   then always take index 0. Records the decision slots taken. *)
-let run_one ~preemption_bound ~max_depth ~step_limit ~config instance prefix =
-  let slots = Vec.create () in
+   then always take the first non-slept index (index 0 when pruning is
+   off). Records the decision slots taken; with [dpor] also recomputes
+   the sleep sets along the path — a pure function of the prefix, which
+   is what keeps checkpoint/resume and the parallel fan-out oblivious
+   to pruning. Returns [(result, slots, truncated, tainted)];
+   [tainted] is true when the program read the global statement clock
+   ([Eff.now]), which invalidates the independence relation. *)
+let run_one ~dpor ~preemption_bound ~max_depth ~step_limit ~config ?arena instance
+    prefix =
+  let slots =
+    match arena with
+    | Some a ->
+      Vec.clear a.aslots;
+      a.aslots
+    | None -> Vec.create ()
+  in
   let depth = ref 0 in
   let prev = ref (-1) in
   let budget = ref (match preemption_bound with None -> max_int | Some b -> b) in
   let truncated = ref false in
+  let sleep = ref 0 in
   let choose (view : Policy.view) =
     let r = view.runnable in
     let preferred = if List.mem !prev r then Some !prev else None in
@@ -89,19 +217,36 @@ let run_one ~preemption_bound ~max_depth ~step_limit ~config instance prefix =
       | Some p -> p :: List.filter (fun q -> q <> p) r
       | None -> r
     in
+    let cands =
+      if dpor then Array.of_list (List.map (footprint view) candidates)
+      else no_cands
+    in
     let d = !depth in
     incr depth;
     let idx =
       if d < Array.length prefix then prefix.(d)
       else begin
         if d >= max_depth then truncated := true;
-        0
+        if dpor && !sleep <> 0 then first_awake cands !sleep else 0
       end
     in
     let idx = if idx < List.length candidates then idx else 0 in
     let pick = List.nth candidates idx in
     let n = if d >= max_depth then 1 else List.length candidates in
-    Vec.push slots { choice = idx; candidates = n; pid = pick };
+    Vec.push slots { choice = idx; candidates = n; pid = pick; cands; sleep = !sleep };
+    if dpor then begin
+      (* Child sleep set: of the processes slept here or explored as
+         earlier siblings, those independent of the taken transition
+         still have their (unchanged) transition covered elsewhere. *)
+      let taken = cands.(idx) in
+      let z = ref 0 in
+      Array.iteri
+        (fun j c ->
+          if (j < idx || slept !sleep c.cpid) && independent c taken then
+            z := !z lor (1 lsl c.cpid))
+        cands;
+      sleep := !z
+    end;
     (match preferred with
     | Some p when pick <> p -> decr budget
     | Some _ | None -> ());
@@ -109,26 +254,53 @@ let run_one ~preemption_bound ~max_depth ~step_limit ~config instance prefix =
     Some pick
   in
   let policy = Policy.of_fun "explore" choose in
-  let result = Engine.run ~step_limit ~config ~policy instance.programs in
-  (result, slots, !truncated)
+  let trace_buf = Option.map (fun a -> arena_trace a config) arena in
+  let result = Engine.run ~step_limit ?trace_buf ~config ~policy instance.programs in
+  (result, slots, !truncated, Trace.now_reads result.trace > 0)
 
-let backtrack slots =
-  (* Deepest slot with an unexplored sibling. *)
+(* Deepest slot with an unexplored, non-slept sibling. With [dpor],
+   siblings in the slot's entry sleep set are skipped — their subtrees
+   are covered by the sibling that put them to sleep — and each skip is
+   counted through [stats] (a state is abandoned exactly once, so no
+   skip is double-counted). *)
+let backtrack ~dpor ?stats slots =
   let n = Vec.length slots in
+  let next_choice (s : slot) =
+    if not dpor then
+      if s.choice + 1 < s.candidates then Some (s.choice + 1) else None
+    else begin
+      let skipped = ref 0 in
+      let rec go j =
+        if j >= s.candidates then begin
+          record_pruned stats !skipped;
+          None
+        end
+        else if slept s.sleep s.cands.(j).cpid then begin
+          incr skipped;
+          go (j + 1)
+        end
+        else begin
+          record_pruned stats !skipped;
+          Some j
+        end
+      in
+      go (s.choice + 1)
+    end
+  in
   let rec find i =
     if i < 0 then None
     else
       let s = Vec.get slots i in
-      if s.choice + 1 < s.candidates then Some i else find (i - 1)
+      match next_choice s with Some c -> Some (i, c) | None -> find (i - 1)
   in
   match find (n - 1) with
   | None -> None
-  | Some i ->
+  | Some (i, c) ->
     let prefix = Array.make (i + 1) 0 in
     for j = 0 to i - 1 do
       prefix.(j) <- (Vec.get slots j).choice
     done;
-    prefix.(i) <- (Vec.get slots i).choice + 1;
+    prefix.(i) <- c;
     Some prefix
 
 (* ---- parallel fan-out (see docs/PARALLELISM.md) ----
@@ -141,7 +313,15 @@ let backtrack slots =
    no deeper slot has unexplored siblings — concatenating the per-subtree
    results in index order reproduces the sequential run order exactly,
    which is what makes the merged outcome bit-identical to [~jobs:1]
-   whenever the search completes within [max_runs]. *)
+   whenever the search completes within [max_runs]. Sleep sets do not
+   disturb this: they are recomputed from the prefix alone, so subtree
+   [i]'s pruning is identical whether it runs on the caller's domain
+   after subtree [i-1] or on a stolen chunk of a pool worker. *)
+
+let tainted_msg =
+  "Explore.explore: the program read the global statement clock (Eff.now) on \
+   some schedules only, which invalidates sleep-set pruning; re-run with \
+   ~dpor:false (--no-dpor)"
 
 (* Outcome of one subtree's DFS. [sruns] counts runs actually performed
    in the subtree; on a counterexample the DFS stops, so [sruns] is also
@@ -154,8 +334,8 @@ type subtree = { sruns : int; sexhaustive : bool; scx : counterexample option }
    so the total number of engine runs across all domains never exceeds
    [max_runs]. [aborted] lets a worker retire once a lower-indexed
    subtree (earlier in canonical order) has found a counterexample. *)
-let subtree_dfs ~claim ~aborted ~stats ~preemption_bound ~max_depth ~step_limit
-    ~on_step_limit ~root scenario start =
+let subtree_dfs ~dpor ~claim ~aborted ~stats ~preemption_bound ~max_depth
+    ~step_limit ~on_step_limit ~root ?arena scenario start =
   let runs = ref 0 in
   let exhaustive = ref true in
   let in_subtree prefix =
@@ -169,22 +349,24 @@ let subtree_dfs ~claim ~aborted ~stats ~preemption_bound ~max_depth ~step_limit
     else begin
       incr runs;
       let instance = scenario.make () in
-      let result, slots, truncated =
-        run_one ~preemption_bound ~max_depth ~step_limit ~config:scenario.config
-          instance prefix
+      let result, slots, truncated, tainted =
+        run_one ~dpor ~preemption_bound ~max_depth ~step_limit
+          ~config:scenario.config ?arena instance prefix
       in
       record_run stats slots;
+      if tainted && dpor then invalid_arg tainted_msg;
       if truncated then exhaustive := false;
       match verdict ~on_step_limit instance result with
       | Error message ->
         let decisions = List.map (fun s -> s.pid) (Vec.to_list slots) in
+        Option.iter sever arena;
         {
           sruns = !runs;
           sexhaustive = false;
           scx = Some { message; trace = result.trace; decisions };
         }
       | Ok () -> (
-        match backtrack slots with
+        match backtrack ~dpor ?stats slots with
         | Some prefix when in_subtree prefix -> loop prefix
         | Some _ | None -> { sruns = !runs; sexhaustive = !exhaustive; scx = None })
     end
@@ -206,17 +388,27 @@ let outcome_of st =
     coverage = Resil.full_coverage 1;
   }
 
+(* Pruning is requested by default but only armed when the relation is
+   valid: never under a preemption bound (the candidate lists are then
+   restricted, breaking the "explored or slept" invariant) and never for
+   configurations too wide for the bitmask. The probe run decides the
+   rest: a probe that read the global clock ([Eff.now] — every
+   history-recording scenario does, on every run) disarms pruning for
+   the whole search. A clock read appearing only on a {e later} schedule
+   is an error ([tainted_msg]); it cannot hide behind pruning, because a
+   pruned schedule executes the same per-process statement sequences as
+   the explored schedule that covers it. *)
+let dpor_requested ~dpor ~preemption_bound scenario =
+  dpor && preemption_bound = None && Config.n scenario.config <= max_sleep_pids
+
 let explore_plain ?preemption_bound ~max_runs ~max_depth ~step_limit ~on_step_limit
-    ~jobs ?stats scenario =
+    ~jobs ~grain ~dpor ?stats scenario =
   let claimed = Atomic.make 0 in
   let claim () =
     Atomic.get claimed < max_runs && Atomic.fetch_and_add claimed 1 < max_runs
   in
-  let dfs = subtree_dfs ~stats ~preemption_bound ~max_depth ~step_limit ~on_step_limit in
   let never_aborted () = false in
-  if jobs <= 1 then
-    outcome_of (dfs ~claim ~aborted:never_aborted ~root:None scenario [||])
-  else if not (claim ()) then
+  if not (claim ()) then
     {
       runs = 0;
       exhaustive = false;
@@ -224,17 +416,27 @@ let explore_plain ?preemption_bound ~max_runs ~max_depth ~step_limit ~on_step_li
       coverage = Resil.full_coverage 1;
     }
   else begin
-    (* Probe: canonical run #1 (the all-zeros schedule, i.e. the first
-       run of subtree 0), which also reveals the top-level width. *)
+    let dpor_req = dpor_requested ~dpor ~preemption_bound scenario in
+    (* Probe: canonical run #1 (the all-zeros schedule — sleep sets are
+       empty along the all-defaults path, so this is the same schedule
+       with pruning armed or not). It reveals the top-level width and
+       whether the scenario reads the global clock. *)
+    let arena0 = make_arena () in
     let instance = scenario.make () in
-    let result, slots, probe_truncated =
-      run_one ~preemption_bound ~max_depth ~step_limit ~config:scenario.config
-        instance [||]
+    let result, slots, probe_truncated, probe_tainted =
+      run_one ~dpor:dpor_req ~preemption_bound ~max_depth ~step_limit
+        ~config:scenario.config ~arena:arena0 instance [||]
     in
     record_run stats slots;
+    let dpor = dpor_req && not probe_tainted in
+    let dfs =
+      subtree_dfs ~dpor ~stats ~preemption_bound ~max_depth ~step_limit
+        ~on_step_limit
+    in
     match verdict ~on_step_limit instance result with
     | Error message ->
       let decisions = List.map (fun s -> s.pid) (Vec.to_list slots) in
+      sever arena0;
       {
         runs = 1;
         exhaustive = false;
@@ -243,9 +445,9 @@ let explore_plain ?preemption_bound ~max_runs ~max_depth ~step_limit ~on_step_li
       }
     | Ok () -> (
       let width = if Vec.length slots = 0 then 0 else (Vec.get slots 0).candidates in
-      let continuation = backtrack slots in
-      if width <= 1 then
-        (* No depth-0 branching to fan out; finish sequentially. *)
+      let continuation = backtrack ~dpor ?stats slots in
+      if jobs <= 1 || width <= 1 then
+        (* No fan-out: finish the DFS on the calling domain. *)
         match continuation with
         | None ->
           {
@@ -255,7 +457,10 @@ let explore_plain ?preemption_bound ~max_runs ~max_depth ~step_limit ~on_step_li
             coverage = Resil.full_coverage 1;
           }
         | Some prefix ->
-          let st = dfs ~claim ~aborted:never_aborted ~root:None scenario prefix in
+          let st =
+            dfs ~claim ~aborted:never_aborted ~root:None ~arena:arena0 scenario
+              prefix
+          in
           outcome_of
             {
               st with
@@ -268,14 +473,14 @@ let explore_plain ?preemption_bound ~max_runs ~max_depth ~step_limit ~on_step_li
            discarded by the merge anyway, exactly as the sequential DFS
            never reaches them). *)
         let best = Atomic.make max_int in
-        let run_subtree i =
+        let run_subtree arena i =
           let aborted () = Atomic.get best < i in
           let st =
             if i = 0 then
               (* The probe was subtree 0's first run; continue after it. *)
               match continuation with
               | Some p when p.(0) = 0 ->
-                let st = dfs ~claim ~aborted ~root:(Some 0) scenario p in
+                let st = dfs ~claim ~aborted ~root:(Some 0) ~arena scenario p in
                 {
                   st with
                   sruns = st.sruns + 1;
@@ -283,13 +488,14 @@ let explore_plain ?preemption_bound ~max_runs ~max_depth ~step_limit ~on_step_li
                 }
               | Some _ | None ->
                 { sruns = 1; sexhaustive = not probe_truncated; scx = None }
-            else dfs ~claim ~aborted ~root:(Some i) scenario [| i |]
+            else dfs ~claim ~aborted ~root:(Some i) ~arena scenario [| i |]
           in
           (match st.scx with Some _ -> atomic_min best i | None -> ());
           st
         in
         let results =
-          Hwf_par.Pool.map ~jobs ~batch:1 ?stats:(pool_of stats) run_subtree
+          Hwf_par.Pool.map_scratch ~jobs ?grain ?stats:(pool_of stats)
+            ~make:make_arena run_subtree
             (Array.init width Fun.id)
         in
         (* Canonical merge: walk subtrees in index order — the order the
@@ -324,7 +530,9 @@ let explore_plain ?preemption_bound ~max_runs ~max_depth ~step_limit ~on_step_li
    subtree is the unit of resume. Subtree [i] runs the DFS from prefix
    [|i|], whose first run is exactly the schedule the sequential DFS
    reaches when it first enters that subtree, so a clean completed
-   campaign merges to the plain outcome run for run. *)
+   campaign merges to the plain outcome run for run. Grain only groups
+   subtree cells for distribution — the journal stays per subtree, so a
+   resumed campaign is byte-identical at every grain. *)
 
 let strip_prefix ~prefix s =
   let np = String.length prefix and ns = String.length s in
@@ -397,31 +605,39 @@ let subtree_of_payload ~step_limit scenario payload =
         scx = Some (replay_decisions ~step_limit scenario decisions message);
       }
 
-let campaign_id ~preemption_bound ~max_runs ~max_depth ~step_limit ~on_step_limit
-    scenario =
+(* [dpor] is the {e armed} value (after the probe's taint decision): it
+   changes run counts, so it is part of the campaign identity — a
+   journal written with pruning cannot seed a resume without it. *)
+let campaign_id ~dpor ~preemption_bound ~max_runs ~max_depth ~step_limit
+    ~on_step_limit scenario =
   let params =
-    Printf.sprintf "%s|pb=%s|runs=%d|depth=%d|steps=%d|osl=%s" scenario.name
+    Printf.sprintf "%s|pb=%s|runs=%d|depth=%d|steps=%d|osl=%s|dpor=%b" scenario.name
       (match preemption_bound with None -> "-" | Some b -> string_of_int b)
       max_runs max_depth step_limit
       (match on_step_limit with `Fail -> "fail" | `Ignore -> "ignore")
+      dpor
   in
   Printf.sprintf "explore/%s/%s" scenario.name (Digest.to_hex (Digest.string params))
 
 let explore_checkpointed ~preemption_bound ~max_runs ~max_depth ~step_limit
-    ~on_step_limit ~jobs ~stats ~cell_wall_s ~path ~resume ~should_stop scenario =
-  (* Structural probe: discovers the top-level width only. Uncounted and
-     unrecorded — subtree 0 re-runs this schedule as its first run. *)
+    ~on_step_limit ~jobs ~grain ~dpor ~stats ~cell_wall_s ~path ~resume
+    ~should_stop scenario =
+  (* Structural probe: discovers the top-level width and the clock-read
+     taint that decides pruning. Uncounted and unrecorded — subtree 0
+     re-runs this schedule as its first run. *)
+  let dpor_req = dpor_requested ~dpor ~preemption_bound scenario in
   let probe_inst = scenario.make () in
-  let _, probe_slots, _ =
-    run_one ~preemption_bound ~max_depth ~step_limit ~config:scenario.config probe_inst
-      [||]
+  let _, probe_slots, _, probe_tainted =
+    run_one ~dpor:dpor_req ~preemption_bound ~max_depth ~step_limit
+      ~config:scenario.config probe_inst [||]
   in
+  let dpor = dpor_req && not probe_tainted in
   let width =
     if Vec.length probe_slots = 0 then 1 else max 1 (Vec.get probe_slots 0).candidates
   in
   let campaign =
-    campaign_id ~preemption_bound ~max_runs ~max_depth ~step_limit ~on_step_limit
-      scenario
+    campaign_id ~dpor ~preemption_bound ~max_runs ~max_depth ~step_limit
+      ~on_step_limit scenario
   in
   match Checkpoint.open_ ~path ~campaign ~cells:width ~resume with
   | Error msg -> invalid_arg ("Explore.explore: " ^ msg)
@@ -442,7 +658,7 @@ let explore_checkpointed ~preemption_bound ~max_runs ~max_depth ~step_limit
       Atomic.get claimed < max_runs && Atomic.fetch_and_add claimed 1 < max_runs
     in
     let best = Atomic.make max_int in
-    let eval i deadline =
+    let eval arena i deadline =
       let aborted () =
         Atomic.get best < i || should_stop () || Resil.interrupted ()
         (* Watchdog demotion: an expired deadline retires the subtree
@@ -452,8 +668,8 @@ let explore_checkpointed ~preemption_bound ~max_runs ~max_depth ~step_limit
       let root = if width <= 1 then None else Some i in
       let start = if width <= 1 then [||] else [| i |] in
       let st =
-        subtree_dfs ~claim ~aborted ~stats ~preemption_bound ~max_depth ~step_limit
-          ~on_step_limit ~root scenario start
+        subtree_dfs ~dpor ~claim ~aborted ~stats ~preemption_bound ~max_depth
+          ~step_limit ~on_step_limit ~root ~arena scenario start
       in
       (match st.scx with Some _ -> atomic_min best i | None -> ());
       (* Journal only untainted cells: a cell cut short by an interrupt
@@ -470,14 +686,15 @@ let explore_checkpointed ~preemption_bound ~max_runs ~max_depth ~step_limit
       | Some s -> Resil.deadline ~wall_s:s ()
     in
     let cells =
-      Hwf_par.Pool.map ~jobs ~batch:1 ?stats:(pool_of stats)
-        (fun i ->
+      Hwf_par.Pool.map_scratch ~jobs ?grain ?stats:(pool_of stats)
+        ~make:make_arena
+        (fun arena i ->
           match Hashtbl.find_opt restored i with
           | Some st -> { Resil.outcome = Resil.Ok_cell st; attempts = 1 }
           | None ->
             if Resil.interrupted () || should_stop () then
               { Resil.outcome = Resil.Skipped "interrupted"; attempts = 0 }
-            else Resil.run_cell ~retry:Resil.no_retry ~deadline_for (eval i))
+            else Resil.run_cell ~retry:Resil.no_retry ~deadline_for (eval arena i))
         (Array.init width Fun.id)
     in
     Checkpoint.close journal;
@@ -510,55 +727,65 @@ let explore_checkpointed ~preemption_bound ~max_runs ~max_depth ~step_limit
     }
 
 let explore ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
-    ?(step_limit = 100_000) ?(on_step_limit = `Fail) ?(jobs = 1) ?stats ?cell_wall_s
-    ?checkpoint ?(resume = false) ?(should_stop = fun () -> false) scenario =
+    ?(step_limit = 100_000) ?(on_step_limit = `Fail) ?(jobs = 1) ?grain
+    ?(dpor = true) ?stats ?cell_wall_s ?checkpoint ?(resume = false)
+    ?(should_stop = fun () -> false) scenario =
   match checkpoint with
   | None ->
     explore_plain ?preemption_bound ~max_runs ~max_depth ~step_limit ~on_step_limit
-      ~jobs ?stats scenario
+      ~jobs ~grain ~dpor ?stats scenario
   | Some path ->
     explore_checkpointed ~preemption_bound ~max_runs ~max_depth ~step_limit
-      ~on_step_limit ~jobs ~stats ~cell_wall_s ~path ~resume ~should_stop scenario
+      ~on_step_limit ~jobs ~grain ~dpor ~stats ~cell_wall_s ~path ~resume
+      ~should_stop scenario
 
 let iter_schedules ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
     ?(step_limit = 100_000) scenario ~f =
+  (* Deliberately unpruned: callers (Bivalence) reason about the full
+     schedule enumeration, not a reduced one. *)
   let runs = ref 0 in
   let rec loop prefix =
     if !runs < max_runs then begin
       incr runs;
       let instance = scenario.make () in
-      let result, slots, _truncated =
-        run_one ~preemption_bound ~max_depth ~step_limit ~config:scenario.config
-          instance prefix
+      let result, slots, _truncated, _tainted =
+        run_one ~dpor:false ~preemption_bound ~max_depth ~step_limit
+          ~config:scenario.config instance prefix
       in
       let pids = List.map (fun s -> s.pid) (Vec.to_list slots) in
       match f ~pids result with
       | `Stop -> ()
       | `Continue -> (
-        match backtrack slots with None -> () | Some prefix -> loop prefix)
+        match backtrack ~dpor:false slots with
+        | None -> ()
+        | Some prefix -> loop prefix)
     end
   in
   loop [||];
   !runs
 
 let random_runs ?(runs = 1_000) ?(step_limit = 100_000) ?(on_step_limit = `Fail)
-    ?(jobs = 1) ?stats ~seed scenario =
+    ?(jobs = 1) ?grain ?stats ~seed scenario =
   (* Run [i] is fully determined by [seed + i], so the cells are
      independent and the parallel merge is by index: the reported
      counterexample is the lowest-index failure, exactly the one the
      sequential loop stops at. *)
-  let one i =
+  let one arena i =
     let instance = scenario.make () in
     let policy = Policy.random ~seed:(seed + i) in
+    let trace_buf = arena_trace arena scenario.config in
     let result =
-      Engine.run ~step_limit ~config:scenario.config ~policy instance.programs
+      Engine.run ~step_limit ~trace_buf ~config:scenario.config ~policy
+        instance.programs
     in
     match verdict ~on_step_limit instance result with
     | Error message ->
+      sever arena;
       Some { message; trace = result.trace; decisions = [] }
     | Ok () -> None
   in
   if jobs <= 1 then begin
+    let arena = make_arena () in
     let rec loop i =
       if i >= runs then
         {
@@ -568,7 +795,7 @@ let random_runs ?(runs = 1_000) ?(step_limit = 100_000) ?(on_step_limit = `Fail)
           coverage = Resil.full_coverage 1;
         }
       else
-        match one i with
+        match one arena i with
         | Some cx ->
           {
             runs = i + 1;
@@ -582,18 +809,21 @@ let random_runs ?(runs = 1_000) ?(step_limit = 100_000) ?(on_step_limit = `Fail)
   end
   else begin
     let best = Atomic.make max_int in
-    let cell i =
+    let cell arena i =
       (* Cells canonically after a known failure are skipped; cells
          before it still run, so the minimum failing index is exact. *)
       if Atomic.get best < i then None
       else
-        match one i with
+        match one arena i with
         | Some cx ->
           atomic_min best i;
           Some cx
         | None -> None
     in
-    let results = Hwf_par.Pool.map ~jobs ?stats:(pool_of stats) cell (Array.init runs Fun.id) in
+    let results =
+      Hwf_par.Pool.map_scratch ~jobs ?grain ?stats:(pool_of stats)
+        ~make:make_arena cell (Array.init runs Fun.id)
+    in
     let hit = ref None in
     Array.iteri
       (fun i r -> if !hit = None && r <> None then hit := Some (i, Option.get r))

@@ -15,13 +15,40 @@
     about (at most one quantum preemption per short code sequence) plus
     a margin.
 
-    No partial-order reduction is applied, deliberately: in this model
-    even statements on disjoint variables do not commute, because every
-    statement advances the scheduler's preemption accounting (pending
-    flags, quantum guarantees) of every other process on its processor —
-    reordering two "independent" statements can change which schedules
-    are subsequently legal. Context bounding is the reduction that is
-    sound here. *)
+    {2 Sleep-set pruning}
+
+    The search applies {e sleep-set pruning} (the first dynamic
+    partial-order-reduction step) by default. Within one processor no
+    reduction is possible: every statement advances the scheduler's
+    preemption accounting (pending flags, quantum guarantees) of every
+    other process on its processor, so even statements on disjoint
+    variables do not commute — uniprocessor scenarios are explored in
+    full, bit-identically to [~dpor:false]. {e Across} processors the
+    scheduler state is disjoint by construction, so two transitions of
+    processes on different processors commute exactly when their data
+    footprints do not conflict (same shared variable, at least one
+    write). The explorer computes that relation per decision point from
+    the policy view ([next_op]), carries a sleep set down each path
+    (recomputed from the decision prefix alone, so pruning is oblivious
+    to [jobs], [grain] and checkpoint/resume), and skips sibling
+    branches whose first transition is slept — their interleavings are
+    covered by the sibling that put them to sleep.
+
+    Validity boundary: the relation assumes programs observe nothing
+    global outside their {!Hwf_sim.Shared} footprints. The one such door
+    is [Eff.now] (the global statement clock): if the probe run reads
+    it, pruning is silently disarmed for the whole search (so
+    history-recording scenarios are simply explored in full); if a
+    {e later} schedule is the first to read it, the search raises
+    [Invalid_argument] telling you to pass [~dpor:false] — it cannot
+    miss that schedule, because a pruned schedule executes the same
+    per-process statement sequences as the explored schedule covering
+    it. Pruning is also disarmed under a [preemption_bound] (the
+    restricted candidate lists break the sleep-set invariant) and for
+    configurations wider than 62 processes (the sleep set is a pid
+    bitmask). Context bounding remains the reduction of choice for
+    uniprocessor scenarios; sleep sets are the multiprocessor one, and
+    the two are never armed together. *)
 
 type instance = {
   programs : (unit -> unit) array;
@@ -46,7 +73,9 @@ type counterexample = {
 type outcome = {
   runs : int;
   exhaustive : bool;
-      (** True if the search space was fully covered within the bounds. *)
+      (** True if the search space was fully covered within the bounds
+          (with pruning: covered up to commutation of independent
+          transitions, which preserves every verdict). *)
   counterexample : counterexample option;
   coverage : Hwf_resil.Resil.coverage;
       (** Harness-level accounting (see [docs/ROBUSTNESS.md]). Plain
@@ -57,11 +86,13 @@ type outcome = {
 
 type stats
 (** Search-layer counters for the observability layer: engine runs per
-    top-level scheduling choice (subtree sizes), plus the domain pool's
-    occupancy counters. Off by default — without a [?stats] argument
-    nothing is counted. The per-root run counts are deterministic
-    whenever the search completes; the pool counters depend on domain
-    racing and are display-only (never exported to JSONL). *)
+    top-level scheduling choice (subtree sizes), sibling branches
+    skipped by sleep-set pruning, plus the domain pool's occupancy
+    counters. Off by default — without a [?stats] argument nothing is
+    counted. The per-root run counts and the pruned count are
+    deterministic whenever the search completes; the pool counters
+    depend on domain racing and are display-only (never exported to
+    JSONL). *)
 
 val make_stats : ?jobs:int -> scenario -> stats
 (** [jobs] sizes the pool's per-worker histogram (default
@@ -72,6 +103,11 @@ val stats_subtree_runs : stats -> int array
 (** Runs performed per top-level choice index — the subtree sizes of the
     parallel fan-out (index 0 includes the probe run). *)
 
+val stats_pruned : stats -> int
+(** Sibling branches skipped because their first transition was slept —
+    each skip is a whole subtree the pruned search did not have to
+    enumerate. Zero on uniprocessor scenarios and with [~dpor:false]. *)
+
 val stats_pool : stats -> Hwf_par.Pool.stats
 
 val explore :
@@ -81,6 +117,8 @@ val explore :
   ?step_limit:int ->
   ?on_step_limit:[ `Fail | `Ignore ] ->
   ?jobs:int ->
+  ?grain:int ->
+  ?dpor:bool ->
   ?stats:stats ->
   ?cell_wall_s:float ->
   ?checkpoint:string ->
@@ -95,6 +133,13 @@ val explore :
     [on_step_limit] (default [`Fail] — suitable for wait-free algorithms,
     which must terminate under every schedule).
 
+    [dpor] (default [true]) arms sleep-set pruning — see the module
+    preamble for semantics, the cases where it silently disarms itself,
+    and the soundness argument. Verdicts, counterexamples and
+    exhaustiveness are unchanged by pruning; [runs] shrinks on
+    multiprocessor scenarios (the cross-check is regression-tested and
+    part of the E17 campaign).
+
     [jobs] (default 1) fans the search out over that many domains: each
     top-level scheduler candidate roots an independent subtree explored
     by the unchanged sequential DFS, and the per-subtree results are
@@ -103,10 +148,16 @@ val explore :
     and the first counterexample with its decision path — is identical
     to [~jobs:1]; [scenario.make] must therefore be domain-safe (fresh
     state per call, which well-behaved scenarios already guarantee — see
-    [docs/PARALLELISM.md]). The [max_runs] budget is claimed from one
-    global atomic counter, one claim per engine run, so the total number
-    of runs across all domains never exceeds [max_runs]; if the budget
-    truncates the parallel search, the outcome reports
+    [docs/PARALLELISM.md]). Sleep sets are recomputed from each decision
+    prefix, so pruning commutes with the fan-out and the identity holds
+    with [dpor] on. [grain] sets the pool's cells-per-claim (default
+    automatic; subtree cells are coarse, so the default resolves to 1
+    here — the knob matters for {!random_runs}). Workers reuse
+    per-domain scratch arenas (trace and decision buffers) across runs;
+    this is invisible in results. The [max_runs] budget is claimed from
+    one global atomic counter, one claim per engine run, so the total
+    number of runs across all domains never exceeds [max_runs]; if the
+    budget truncates the parallel search, the outcome reports
     [exhaustive = false] just as the sequential search does, but the
     truncation point (and so [runs]) may differ.
 
@@ -115,12 +166,13 @@ val explore :
     subtree decomposition even at [jobs = 1] (the subtree is the unit
     of resume; subtree [i]'s first run is exactly the schedule the
     sequential DFS reaches on entering it, so a clean completed
-    campaign merges to the plain outcome run for run). With
-    [resume = true] journaled subtrees are restored instead of re-run —
-    their run counts re-seed the [max_runs] budget and a restored
-    counterexample's trace is rebuilt by replaying its decisions — and
-    the journal must match the campaign (same scenario name and search
-    bounds) or the call raises [Invalid_argument]. [cell_wall_s] gives
+    campaign merges to the plain outcome run for run; the journal stays
+    per subtree at every [grain]). With [resume = true] journaled
+    subtrees are restored instead of re-run — their run counts re-seed
+    the [max_runs] budget and a restored counterexample's trace is
+    rebuilt by replaying its decisions — and the journal must match the
+    campaign (same scenario name, search bounds, and armed [dpor]) or
+    the call raises [Invalid_argument]. [cell_wall_s] gives
     each subtree a wall-clock budget; an expired subtree is {e demoted}
     (retired with a partial, non-exhaustive result) rather than hung.
     [should_stop] (polled between runs, ORed with
@@ -138,7 +190,8 @@ val iter_schedules :
   int
 (** Lower-level driver underlying [explore]: enumerates schedules in the
     same DFS order and hands each completed run (with its decision path)
-    to [f]. Returns the number of runs performed. Used by
+    to [f]. Returns the number of runs performed. Deliberately unpruned
+    — callers ({!Bivalence}) reason about the full enumeration. Used by
     {!Bivalence}. *)
 
 val random_runs :
@@ -146,6 +199,7 @@ val random_runs :
   ?step_limit:int ->
   ?on_step_limit:[ `Fail | `Ignore ] ->
   ?jobs:int ->
+  ?grain:int ->
   ?stats:stats ->
   seed:int ->
   scenario ->
@@ -155,6 +209,9 @@ val random_runs :
     seed [seed + i], so runs are independent cells: with [jobs > 1] they
     are distributed over a domain pool and the reported counterexample
     is the lowest-index failure — the same one the sequential loop stops
-    at, with the same [runs] count. *)
+    at, with the same [runs] count. These cells are micro-cells (one
+    engine run each), so [grain] matters here: the default chunks
+    hundreds of runs per claim ([docs/PARALLELISM.md] has the tuning
+    guide). *)
 
 val pp_outcome : outcome Fmt.t

@@ -217,9 +217,9 @@ let campaign_id subject plans =
   Printf.sprintf "certify/%s/%s" subject.name
     (Digest.to_hex (Digest.string (String.concat "\n" (List.map Plan.to_string plans))))
 
-let certify ?(shrink = true) ?(max_shrink_rounds = 200) ?(jobs = 1) ?pool_stats
-    ?(retry = Resil.no_retry) ?cell_wall_s ?checkpoint ?(resume = false)
-    ?(should_stop = fun () -> false) ?sleep subject plans =
+let certify ?(shrink = true) ?(max_shrink_rounds = 200) ?(jobs = 1) ?grain
+    ?pool_stats ?(retry = Resil.no_retry) ?cell_wall_s ?checkpoint
+    ?(resume = false) ?(should_stop = fun () -> false) ?sleep subject plans =
   let plan_arr = Array.of_list plans in
   let total = Array.length plan_arr in
   let journal, restored =
@@ -265,7 +265,7 @@ let certify ?(shrink = true) ?(max_shrink_rounds = 200) ?(jobs = 1) ?pool_stats
     rc
   in
   let cells =
-    Hwf_par.Pool.map ~jobs ?stats:pool_stats
+    Hwf_par.Pool.map ~jobs ?grain ?stats:pool_stats
       (fun (i, plan) ->
         match restored i with
         | Some c -> { Resil.outcome = Resil.Ok_cell c; attempts = 1 }

@@ -89,6 +89,7 @@ val certify :
   ?shrink:bool ->
   ?max_shrink_rounds:int ->
   ?jobs:int ->
+  ?grain:int ->
   ?pool_stats:Hwf_par.Pool.stats ->
   ?retry:Hwf_resil.Resil.retry ->
   ?cell_wall_s:float ->
@@ -110,7 +111,9 @@ val certify :
     called once per plan, parallel or not) and shrinks its own failure
     by replaying only its own plan, so the report is identical to
     [~jobs:1] plan for plan, including the shrunk counterexample
-    schedules.
+    schedules. [grain] sets the pool's cells-per-claim (default
+    automatic — grain 1 for campaign-sized plan lists, which is right
+    for cells this coarse).
 
     [pool_stats] (off by default) accumulates the domain pool's
     occupancy counters for [hybridsim stats]; it never affects the

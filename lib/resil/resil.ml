@@ -246,7 +246,7 @@ let install_interrupt_handlers () =
 
 (* ---- resilient map ---- *)
 
-let map ?jobs ?batch ?stats ?retry ?deadline_for ?sleep
+let map ?jobs ?grain ?stats ?retry ?deadline_for ?sleep
     ?(should_stop = fun () -> false) ?(skip = fun _ -> None) f a =
   let cell i x =
     match skip i with
@@ -259,7 +259,7 @@ let map ?jobs ?batch ?stats ?retry ?deadline_for ?sleep
   (* [cell] never raises: run_cell folds exceptions into the outcome,
      so the pool's min-index error path is unreachable from here and a
      bad cell cannot poison the array. *)
-  Hwf_par.Pool.map ?jobs ?batch ?stats
+  Hwf_par.Pool.map ?jobs ?grain ?stats
     (fun (i, x) -> cell i x)
     (Array.mapi (fun i x -> (i, x)) a)
 

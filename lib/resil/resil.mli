@@ -183,7 +183,7 @@ val reset_interrupt : unit -> unit
 
 val map :
   ?jobs:int ->
-  ?batch:int ->
+  ?grain:int ->
   ?stats:Hwf_par.Pool.stats ->
   ?retry:retry ->
   ?deadline_for:(attempt:int -> deadline) ->

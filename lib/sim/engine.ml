@@ -37,11 +37,20 @@ type cell = {
 }
 
 let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
-    ?(self_check = false) ~(config : Config.t) ~(policy : Policy.t) programs =
+    ?trace_buf ?(self_check = false) ~(config : Config.t) ~(policy : Policy.t)
+    programs =
   let n = Config.n config in
   if Array.length programs <> n then
     invalid_arg "Engine.run: program count <> process count";
-  let trace = Trace.create config in
+  let trace =
+    match trace_buf with
+    | None -> Trace.create config
+    | Some t ->
+      if Config.n (Trace.config t) <> n then
+        invalid_arg "Engine.run: trace_buf configured for a different process count";
+      Trace.reset t;
+      t
+  in
   (match observer with None -> () | Some f -> Trace.set_observer trace f);
   let cost_of =
     match cost with
@@ -229,6 +238,7 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
             Some
               (fun (k : (a, unit) continuation) ->
                 Runtime.exit_process ();
+                Trace.count_now trace;
                 resume k (Trace.statements trace))
           | Eff.Set_priority p ->
             Some

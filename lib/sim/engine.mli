@@ -58,6 +58,7 @@ val run :
   ?halted:(Policy.pview -> bool) ->
   ?axiom2_active:(step:int -> bool) ->
   ?observer:(Trace.event -> unit) ->
+  ?trace_buf:Trace.t ->
   ?self_check:bool ->
   config:Config.t ->
   policy:Policy.t ->
@@ -114,6 +115,15 @@ val run :
     order. It is the engine-level entry point of the observability
     layer ({!Hwf_obs.Metrics} collectors); when absent, the only cost
     is one [match] per trace event.
+
+    [trace_buf] makes the run record into a caller-supplied trace
+    ({!Trace.reset} is applied first) instead of allocating a fresh one
+    — the scratch-arena hook that lets an exploration worker reuse one
+    event buffer across thousands of runs. The caller promises the
+    previous run's [result.trace] is dead by the time it passes the
+    buffer again; the explorer severs the reference when a trace escapes
+    inside a counterexample. The buffer must be configured for the same
+    process count.
 
     [self_check] (default [false]) runs the engine's retained naive
     reference semantics alongside the incremental structures: each

@@ -12,6 +12,7 @@ type t = {
   mutable stmts : int;
   mutable time : int;
   own : int array;  (* per-pid statement counts, maintained incrementally *)
+  mutable now_reads : int;
   mutable observer : (event -> unit) option;
 }
 
@@ -22,8 +23,21 @@ let create config =
     stmts = 0;
     time = 0;
     own = Array.make (Config.n config) 0;
+    now_reads = 0;
     observer = None;
   }
+
+let reset t =
+  Vec.clear t.events;
+  t.stmts <- 0;
+  t.time <- 0;
+  Array.fill t.own 0 (Array.length t.own) 0;
+  t.now_reads <- 0;
+  t.observer <- None
+
+let count_now t = t.now_reads <- t.now_reads + 1
+
+let now_reads t = t.now_reads
 
 let config t = t.config
 

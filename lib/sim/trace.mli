@@ -29,6 +29,14 @@ type t
 
 val create : Config.t -> t
 
+val reset : t -> unit
+(** Return the trace to its just-created state — no events, zero
+    counters, no observer — while keeping the underlying event buffer,
+    so one trace can serve as a reusable per-worker scratch across many
+    engine runs (see {!Engine.run}'s [trace_buf]). The configuration is
+    retained: a reset trace is only valid for runs of the same
+    configuration. *)
+
 val config : t -> Config.t
 
 val set_observer : t -> (event -> unit) -> unit
@@ -69,6 +77,16 @@ val own_statements : t -> Proc.pid -> int
 (** Statements executed by [pid], maintained incrementally on {!add}
     (O(1), not a refold of the event vector).
     @raise Invalid_argument if [pid] is outside the configuration. *)
+
+val count_now : t -> unit
+(** Engine-internal: record that the running program observed the global
+    statement clock ([Eff.now]). Not an event — a plain counter. *)
+
+val now_reads : t -> int
+(** How many times the run observed the global statement clock. The
+    explorer's sleep-set pruning ({!Hwf_adversary.Explore}) is sound
+    only for runs that never read global state outside their [Shared]
+    footprints; [now_reads > 0] is the taint signal that disables it. *)
 
 val pp_event : event Fmt.t
 

@@ -8,6 +8,8 @@ let get v i =
   if i < 0 || i >= v.len then invalid_arg "Vec.get";
   v.data.(i)
 
+let clear v = v.len <- 0
+
 let push v x =
   let cap = Array.length v.data in
   if v.len = cap then begin

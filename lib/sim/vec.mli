@@ -14,6 +14,12 @@ val get : 'a t -> int -> 'a
 
 val push : 'a t -> 'a -> unit
 
+val clear : 'a t -> unit
+(** [clear v] drops all elements but keeps the underlying buffer, so a
+    vector can be reused across runs without reallocating. Old elements
+    are not overwritten (they stay reachable until pushed over) — reuse
+    is for per-worker scratch buffers, not for releasing memory. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
 
 val iteri : (int -> 'a -> unit) -> 'a t -> unit

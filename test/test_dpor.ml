@@ -1,0 +1,222 @@
+open Hwf_sim
+open Hwf_adversary
+open Hwf_workload
+
+(* Sleep-set pruning (docs/PARALLELISM.md). The contract under test:
+   verdicts, counterexamples and exhaustiveness are invariant under
+   pruning; run counts shrink on multiprocessor scenarios and are
+   untouched on uniprocessor ones; the [Eff.now] validity boundary is
+   enforced (silent disarm when the probe reads the clock, a loud
+   [Invalid_argument] when only a later schedule does). *)
+
+let check_outcomes name (a : Explore.outcome) (b : Explore.outcome) =
+  Util.checki (name ^ ": runs") a.runs b.runs;
+  Util.checkb (name ^ ": exhaustive") (a.exhaustive = b.exhaustive);
+  match (a.counterexample, b.counterexample) with
+  | None, None -> ()
+  | Some ca, Some cb ->
+    Util.check Alcotest.string (name ^ ": message") ca.message cb.message;
+    Util.check Alcotest.(list int) (name ^ ": decision path") ca.decisions cb.decisions
+  | Some _, None | None, Some _ ->
+    Alcotest.failf "%s: pruning changed the verdict" name
+
+(* A two-processor scenario: one process per cpu, so every scheduler
+   decision is a genuine cross-processor interleaving choice — the
+   setting sleep sets are for. [mk] builds fresh shared state per run
+   and returns the programs plus a final-state predicate (evaluated on
+   quiescent state via peek, so it is invariant under commuting
+   independent transitions — exactly the checks pruning preserves). *)
+let two_cpu ~name mk =
+  let layout = [ (0, 1); (1, 1) ] in
+  let config = Layout.to_config ~quantum:4 layout in
+  let make () =
+    let programs, finals = mk () in
+    let check (r : Engine.result) =
+      if not (Array.for_all Fun.id r.Engine.finished) then
+        Error "not all processes finished"
+      else finals ()
+    in
+    Explore.{ programs; check }
+  in
+  Explore.{ name; config; make }
+
+(* Disjoint footprints: P0 only touches [a], P1 only touches [b], so
+   every cross-processor pair of transitions commutes and the pruned
+   search collapses to a handful of representatives. *)
+let disjoint () =
+  two_cpu ~name:"dpor.disjoint" (fun () ->
+      let a = Shared.make "a" 0 and b = Shared.make "b" 0 in
+      let bump v = Shared.write v (Shared.read v + 1) in
+      let programs =
+        [|
+          (fun () -> Eff.invocation "p0" (fun () -> bump a; bump a));
+          (fun () -> Eff.invocation "p1" (fun () -> bump b; bump b));
+        |]
+      in
+      let finals () =
+        if Shared.peek a = 2 && Shared.peek b = 2 then Ok ()
+        else Error (Fmt.str "bad finals a=%d b=%d" (Shared.peek a) (Shared.peek b))
+      in
+      (programs, finals))
+
+(* A real data race: both processes do a read-modify-write on [x]
+   without atomicity, so interleaved schedules lose an update. The
+   counterexample must survive pruning byte for byte. *)
+let lost_update () =
+  two_cpu ~name:"dpor.lost-update" (fun () ->
+      let x = Shared.make "x" 0 in
+      let incr () =
+        let v = Shared.read x in
+        Shared.write x (v + 1)
+      in
+      let programs =
+        [|
+          (fun () -> Eff.invocation "p0" incr);
+          (fun () -> Eff.invocation "p1" incr);
+        |]
+      in
+      let finals () =
+        let v = Shared.peek x in
+        if v = 2 then Ok () else Error (Fmt.str "lost update: x=%d" v)
+      in
+      (programs, finals))
+
+let fig3 ~quantum =
+  Scenarios.consensus ~name:"dpor.f3" ~impl:Scenarios.Fig3 ~quantum
+    ~layout:[ (0, 1); (0, 1) ]
+
+(* ---- tests ---- *)
+
+let test_uniprocessor_identical () =
+  (* All scheduler accounting is per-processor, so on one processor
+     nothing commutes: pruning must be a no-op, bit for bit. *)
+  List.iter
+    (fun quantum ->
+      let b = fig3 ~quantum in
+      let stats = Explore.make_stats ~jobs:1 b.scenario in
+      let dp = Explore.explore ~stats b.scenario in
+      let full = Explore.explore ~dpor:false b.scenario in
+      check_outcomes (Printf.sprintf "fig3 Q=%d" quantum) full dp;
+      Util.checki "nothing pruned on a uniprocessor" 0 (Explore.stats_pruned stats))
+    [ 1; 8 ]
+
+let test_multiprocessor_prunes () =
+  let s = disjoint () in
+  let stats = Explore.make_stats ~jobs:1 s in
+  let full = Explore.explore ~dpor:false s in
+  let pruned = Explore.explore ~stats s in
+  Util.checkb "full search is exhaustive" full.exhaustive;
+  Util.checkb "pruned search is exhaustive" pruned.exhaustive;
+  Util.checkb "both verdicts clean"
+    (full.counterexample = None && pruned.counterexample = None);
+  Util.checkb
+    (Printf.sprintf "pruning shrinks the run count (%d < %d)" pruned.runs full.runs)
+    (pruned.runs < full.runs);
+  Util.checkb "skipped branches are counted" (Explore.stats_pruned stats > 0)
+
+let test_counterexample_preserved () =
+  let s = lost_update () in
+  let full = Explore.explore ~dpor:false s in
+  let pruned = Explore.explore s in
+  (match full.counterexample with
+  | None -> Alcotest.fail "expected the lost-update counterexample"
+  | Some c -> Util.checkb "message names the race" (Util.contains c.message "lost update"));
+  (* The canonical-first counterexample is never pruned: an equivalent
+     earlier representative would have failed first. *)
+  Util.checkb "pruned finds it in no more runs" (pruned.runs <= full.runs);
+  match (full.counterexample, pruned.counterexample) with
+  | Some cf, Some cp ->
+    Util.check Alcotest.string "same message" cf.message cp.message;
+    Util.check Alcotest.(list int) "same decision path" cf.decisions cp.decisions
+  | _ -> Alcotest.fail "pruning changed the verdict"
+
+let test_jobs_grain_identity_under_dpor () =
+  (* Sleep sets are a pure function of the decision prefix, so pruning
+     must commute with the parallel fan-out at any grain. *)
+  List.iter
+    (fun s ->
+      let o1 = Explore.explore ~jobs:1 s in
+      List.iter
+        (fun (jobs, grain) ->
+          let o = Explore.explore ~jobs ~grain s in
+          check_outcomes (Printf.sprintf "%s jobs=%d grain=%d" s.Explore.name jobs grain) o1 o)
+        [ (2, 1); (4, 1); (4, 2) ])
+    [ disjoint (); lost_update () ]
+
+let test_probe_taint_disarms () =
+  (* Every run reads the global clock: the probe sees it and pruning is
+     silently disarmed — the search runs in full, no error. *)
+  let s =
+    two_cpu ~name:"dpor.clocked" (fun () ->
+        let a = Shared.make "a" 0 in
+        let programs =
+          [|
+            (fun () -> Eff.invocation "p0" (fun () -> Shared.write a 1; Shared.write a 2));
+            (fun () -> Eff.invocation "p1" (fun () -> ignore (Eff.now ()); Shared.write a 3));
+          |]
+        in
+        (programs, fun () -> Ok ()))
+  in
+  let stats = Explore.make_stats ~jobs:1 s in
+  let full = Explore.explore ~dpor:false s in
+  let dp = Explore.explore ~stats s in
+  check_outcomes "clocked scenario runs in full" full dp;
+  Util.checki "nothing pruned when disarmed" 0 (Explore.stats_pruned stats)
+
+let test_later_taint_raises () =
+  (* The clock read hides behind a data race: the probe (P0 first, so
+     P1 reads 1) is clean, but the P1-first schedules read 0 and hit
+     [Eff.now]. The search must refuse loudly rather than prune over an
+     invalid independence relation. *)
+  let s =
+    two_cpu ~name:"dpor.latent-clock" (fun () ->
+        let x = Shared.make "x" 0 in
+        let programs =
+          [|
+            (fun () -> Eff.invocation "p0" (fun () -> Shared.write x 1));
+            (fun () ->
+              Eff.invocation "p1" (fun () ->
+                  if Shared.read x = 0 then ignore (Eff.now ())));
+          |]
+        in
+        (programs, fun () -> Ok ()))
+  in
+  (match Explore.explore s with
+  | _ -> Alcotest.fail "expected Invalid_argument on the latent clock read"
+  | exception Invalid_argument m ->
+    Util.checkb "message points at --no-dpor" (Util.contains m "--no-dpor"));
+  (* And the escape hatch works. *)
+  let full = Explore.explore ~dpor:false s in
+  Util.checkb "explored in full with ~dpor:false" full.exhaustive
+
+let test_preemption_bound_disarms () =
+  (* Context bounding restricts the candidate lists, which breaks the
+     "explored or slept" invariant — the two reductions are never armed
+     together. *)
+  let s = disjoint () in
+  let stats = Explore.make_stats ~jobs:1 s in
+  let bounded_full = Explore.explore ~preemption_bound:1 ~dpor:false s in
+  let bounded_dp = Explore.explore ~preemption_bound:1 ~stats s in
+  check_outcomes "bounded search identical" bounded_full bounded_dp;
+  Util.checki "nothing pruned under a preemption bound" 0 (Explore.stats_pruned stats)
+
+let () =
+  Alcotest.run "dpor"
+    [
+      ( "sleep-sets",
+        [
+          Alcotest.test_case "uniprocessor: pruning is a no-op" `Quick
+            test_uniprocessor_identical;
+          Alcotest.test_case "multiprocessor: prunes, same verdict" `Quick
+            test_multiprocessor_prunes;
+          Alcotest.test_case "counterexample preserved" `Quick
+            test_counterexample_preserved;
+          Alcotest.test_case "jobs x grain identity under dpor" `Quick
+            test_jobs_grain_identity_under_dpor;
+          Alcotest.test_case "probe clock read disarms silently" `Quick
+            test_probe_taint_disarms;
+          Alcotest.test_case "latent clock read raises" `Quick test_later_taint_raises;
+          Alcotest.test_case "preemption bound disarms" `Quick
+            test_preemption_bound_disarms;
+        ] );
+    ]

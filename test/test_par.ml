@@ -18,13 +18,17 @@ let test_pool_map_order () =
     "jobs=4 equals sequential map" (Array.map f a)
     (Hwf_par.Pool.map ~jobs:4 f a)
 
-let test_pool_map_batched () =
+let test_pool_map_grained () =
   let a = Array.init 97 Fun.id in
   let f x = x * 3 in
-  Util.check
-    Alcotest.(array int)
-    "batch=7 equals sequential map" (Array.map f a)
-    (Hwf_par.Pool.map ~jobs:4 ~batch:7 f a)
+  List.iter
+    (fun grain ->
+      Util.check
+        Alcotest.(array int)
+        (Printf.sprintf "grain=%d equals sequential map" grain)
+        (Array.map f a)
+        (Hwf_par.Pool.map ~jobs:4 ~grain f a))
+    [ 1; 7; 96; 97; 200 ]
 
 let test_pool_map_edges () =
   Util.check Alcotest.(array int) "empty" [||] (Hwf_par.Pool.map ~jobs:4 succ [||]);
@@ -46,12 +50,14 @@ let test_pool_exception_deterministic () =
   done
 
 let test_pool_skips_past_error () =
-  (* S2 regression. With [batch = n], whichever worker claims first owns
-     the whole array; the other claims past the end and retires. Cell 0
-     raises, so every later cell in the batch must be skipped — the old
-     worker loop kept evaluating all of them after the error was
-     recorded. Deterministic regardless of which worker wins the first
-     claim: exactly one evaluation, n - 1 skips, index-0 exception. *)
+  (* S2 regression. Cell 0 raises, and index 0 is the global minimum, so
+     whichever worker executes chunk 0 must skip the rest of that chunk
+     after recording the error — the old worker loop kept evaluating
+     after the error was recorded. With two workers the other chunk may
+     race ahead of the error becoming visible, so the deterministic
+     facts are: the index-0 exception wins, every cell is either
+     evaluated or skipped, and at least the remainder of chunk 0 (15
+     cells) is skipped. *)
   let n = 32 in
   let a = Array.init n Fun.id in
   let evals = Atomic.make 0 in
@@ -60,12 +66,85 @@ let test_pool_skips_past_error () =
     if i = 0 then failwith "cell0" else i
   in
   let stats = Hwf_par.Pool.make_stats ~jobs:2 in
-  (match Hwf_par.Pool.map ~jobs:2 ~batch:n ~stats f a with
+  (match Hwf_par.Pool.map ~jobs:2 ~grain:16 ~stats f a with
   | _ -> Alcotest.fail "expected an exception"
   | exception Failure m -> Util.check Alcotest.string "index-0 exception" "cell0" m);
-  Util.checki "exactly one cell evaluated" 1 (Atomic.get evals);
-  Util.checki "stats: evaluated" 1 (Hwf_par.Pool.stats_evaluated stats);
-  Util.checki "stats: skipped" (n - 1) (Hwf_par.Pool.stats_skipped stats)
+  Util.checki "every cell evaluated or skipped" n
+    (Hwf_par.Pool.stats_evaluated stats + Hwf_par.Pool.stats_skipped stats);
+  Util.checki "stats agree with the cell bodies" (Atomic.get evals)
+    (Hwf_par.Pool.stats_evaluated stats);
+  Util.checkb "the failing chunk's tail is skipped"
+    (Hwf_par.Pool.stats_skipped stats >= 15)
+
+let test_pool_forced_steal () =
+  (* Starve one worker: cell 0 (owned by worker 0) spins until every
+     other cell is done, so worker 1 must drain its own block and then
+     steal worker 0's remaining chunks 1..3 — exactly 3 steals, and the
+     result is still the sequential one. Worker 1's first own cell
+     (cell 4) gates on cell 0 having started: worker 1 cannot reach its
+     steal phase before worker 0 owns chunk 0, so the steal count is
+     deterministic even on one core. *)
+  let n = 8 in
+  let done_ = Atomic.make 0 in
+  let started0 = Atomic.make false in
+  let f i =
+    if i = 0 then begin
+      Atomic.set started0 true;
+      while Atomic.get done_ < n - 1 do
+        Domain.cpu_relax ()
+      done
+    end
+    else if i = 4 then
+      while not (Atomic.get started0) do
+        Domain.cpu_relax ()
+      done;
+    Atomic.incr done_;
+    i * 10
+  in
+  let stats = Hwf_par.Pool.make_stats ~jobs:2 in
+  let r = Hwf_par.Pool.map ~jobs:2 ~grain:1 ~stats f (Array.init n Fun.id) in
+  Util.check
+    Alcotest.(array int)
+    "stolen chunks land in their slots"
+    (Array.init n (fun i -> i * 10))
+    r;
+  Util.checki "worker 1 stole the starved worker's chunks" 3
+    (Hwf_par.Pool.stats_steals stats);
+  Util.checki "all chunks claimed exactly once" n (Hwf_par.Pool.stats_claims stats)
+
+let test_pool_scratch_per_worker () =
+  (* [map_scratch]: every cell sees the scratch created on its own
+     worker, and [make] runs exactly once per worker. Cell 0's worker is
+     starved (as above) so both workers demonstrably participate: cells
+     1..7 must all carry the non-starved worker's scratch. *)
+  let n = 8 in
+  let done_ = Atomic.make 0 in
+  let started0 = Atomic.make false in
+  let next_id = Atomic.make 0 in
+  let make () = Atomic.fetch_and_add next_id 1 in
+  let f scratch i =
+    if i = 0 then begin
+      Atomic.set started0 true;
+      while Atomic.get done_ < n - 1 do
+        Domain.cpu_relax ()
+      done
+    end
+    else if i = 4 then
+      while not (Atomic.get started0) do
+        Domain.cpu_relax ()
+      done;
+    Atomic.incr done_;
+    (scratch, i * 2)
+  in
+  let r = Hwf_par.Pool.map_scratch ~jobs:2 ~grain:1 ~make f (Array.init n Fun.id) in
+  Array.iteri (fun i (_, y) -> Util.checki "cell result" (i * 2) y) r;
+  Util.checki "make ran once per worker" 2 (Atomic.get next_id);
+  let s0 = fst r.(0) in
+  Array.iteri
+    (fun i (s, _) ->
+      if i > 0 then
+        Util.checkb "stolen cells ran on the thief's scratch" (s <> s0))
+    r
 
 let test_pool_worker_death_contained () =
   (* Robustness regression: an exception raised outside [f] — in the
@@ -199,6 +278,22 @@ let test_explore_max_runs_exact () =
   Util.checki "sequential spends the whole budget" 25 (Atomic.get makes1);
   Util.checki "sequential reports the budget" 25 o1.runs
 
+let test_explore_jobs_grain_matrix () =
+  (* The determinism contract quantified over the knobs: any jobs/grain
+     combination must reproduce the sequential outcome bit for bit,
+     counterexample path included. *)
+  let b = fig3 ~quantum:1 ~pris:[ 1; 1 ] in
+  let o1 = Explore.explore ~jobs:1 b.scenario in
+  Util.expect_fail "fig3 Q=1 baseline" o1;
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun grain ->
+          let o = Explore.explore ~jobs ~grain b.scenario in
+          check_outcomes (Printf.sprintf "jobs=%d grain=%d" jobs grain) o1 o)
+        [ 1; 2; 3 ])
+    [ 2; 4; 8 ]
+
 let test_random_runs_parallel_identical () =
   let b = fig3 ~quantum:1 ~pris:[ 1; 1; 1 ] in
   let o1 = Explore.random_runs ~runs:200 ~seed:5 ~jobs:1 b.scenario in
@@ -208,6 +303,20 @@ let test_random_runs_parallel_identical () =
   | Some c1, Some c4 -> Util.check Alcotest.string "same message" c1.message c4.message
   | None, None -> ()
   | _ -> Alcotest.fail "random_runs: jobs=1 and jobs=4 verdicts differ"
+
+let test_random_runs_grain_identical () =
+  let b = fig3 ~quantum:1 ~pris:[ 1; 1; 1 ] in
+  let o1 = Explore.random_runs ~runs:100 ~seed:5 ~jobs:1 b.scenario in
+  List.iter
+    (fun grain ->
+      let o = Explore.random_runs ~runs:100 ~seed:5 ~jobs:4 ~grain b.scenario in
+      Util.checki (Printf.sprintf "grain=%d: same first failing run" grain) o1.runs
+        o.runs;
+      match (o1.counterexample, o.counterexample) with
+      | Some c1, Some c -> Util.check Alcotest.string "same message" c1.message c.message
+      | None, None -> ()
+      | _ -> Alcotest.failf "random_runs grain=%d: verdict differs from jobs=1" grain)
+    [ 1; 7; 50 ]
 
 (* ---- parallel certify ---- *)
 
@@ -246,7 +355,13 @@ let test_certify_parallel_identical_failures () =
   let r1 = Certify.certify ~jobs:1 subject plans in
   let r4 = Certify.certify ~jobs:4 subject plans in
   Util.checki "two rejected cells" 2 (List.length r1.failures);
-  check_reports "negative control" r1 r4
+  check_reports "negative control" r1 r4;
+  (* Grain must be invisible in the report too. *)
+  List.iter
+    (fun grain ->
+      let r = Certify.certify ~jobs:3 ~grain subject plans in
+      check_reports (Printf.sprintf "negative control grain=%d" grain) r1 r)
+    [ 1; 2; 4 ]
 
 let () =
   Alcotest.run "par"
@@ -254,10 +369,12 @@ let () =
       ( "pool",
         [
           Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
-          Alcotest.test_case "batched map" `Quick test_pool_map_batched;
+          Alcotest.test_case "grained map" `Quick test_pool_map_grained;
           Alcotest.test_case "edge sizes" `Quick test_pool_map_edges;
           Alcotest.test_case "skips cells past a recorded error" `Quick
             test_pool_skips_past_error;
+          Alcotest.test_case "forced steal" `Quick test_pool_forced_steal;
+          Alcotest.test_case "scratch per worker" `Quick test_pool_scratch_per_worker;
           Alcotest.test_case "stats hook" `Quick test_pool_stats;
           Alcotest.test_case "deterministic exceptions" `Quick
             test_pool_exception_deterministic;
@@ -274,8 +391,12 @@ let () =
             test_explore_parallel_identical_fail;
           Alcotest.test_case "max_runs exact under fan-out" `Quick
             test_explore_max_runs_exact;
+          Alcotest.test_case "jobs x grain identity matrix" `Quick
+            test_explore_jobs_grain_matrix;
           Alcotest.test_case "random_runs jobs=4 identical" `Quick
             test_random_runs_parallel_identical;
+          Alcotest.test_case "random_runs grain identical" `Quick
+            test_random_runs_grain_identical;
         ] );
       ( "certify",
         [

@@ -333,6 +333,48 @@ let test_explore_checkpoint_resume_counterexample () =
   | _ -> Alcotest.fail "expected counterexamples on both sides");
   Sys.remove path
 
+let test_explore_checkpoint_jobs_grain () =
+  (* Kill-and-resume quantified over the knobs: a campaign cut short by
+     [should_stop] must resume to the plain outcome whatever jobs/grain
+     the resuming invocation uses — the journal is per subtree at every
+     grain. *)
+  let open Hwf_adversary in
+  let scenario = fig3_scenario ~quantum:8 ~pris:[ 1; 1; 1 ] in
+  let reference = Explore.explore ~jobs:1 scenario in
+  List.iter
+    (fun (jobs, grain) ->
+      let path = tmpfile () in
+      let polls = ref 0 in
+      let stop () =
+        incr polls;
+        !polls > 40
+      in
+      let partial = Explore.explore ~checkpoint:path ~should_stop:stop scenario in
+      Util.checkb "interrupted campaign is visibly partial"
+        (not (Resil.complete partial.Explore.coverage));
+      let resumed =
+        Explore.explore ~checkpoint:path ~resume:true ~jobs ~grain scenario
+      in
+      check_outcomes
+        (Printf.sprintf "resume at jobs=%d grain=%d" jobs grain)
+        reference resumed;
+      Sys.remove path)
+    [ (1, 1); (2, 1); (4, 2) ]
+
+let test_explore_checkpoint_dpor_identity () =
+  (* The armed [dpor] value changes run counts, so it is part of the
+     campaign identity: a journal written with pruning cannot seed a
+     [--no-dpor] resume. *)
+  let open Hwf_adversary in
+  let scenario = fig3_scenario ~quantum:8 ~pris:[ 1; 1 ] in
+  let path = tmpfile () in
+  ignore (Explore.explore ~checkpoint:path scenario);
+  (match Explore.explore ~checkpoint:path ~resume:true ~dpor:false scenario with
+  | _ -> Alcotest.fail "expected a campaign mismatch"
+  | exception Invalid_argument m ->
+    Util.checkb "refused as a different campaign" (Util.contains m "Explore.explore"));
+  Sys.remove path
+
 let () =
   Alcotest.run "resil"
     [
@@ -376,6 +418,10 @@ let () =
         [
           Alcotest.test_case "checkpoint and resume" `Quick
             test_explore_checkpoint_resume;
+          Alcotest.test_case "kill and resume across jobs/grain" `Quick
+            test_explore_checkpoint_jobs_grain;
+          Alcotest.test_case "dpor is campaign identity" `Quick
+            test_explore_checkpoint_dpor_identity;
           Alcotest.test_case "restored counterexample" `Quick
             test_explore_checkpoint_resume_counterexample;
         ] );
