@@ -39,6 +39,7 @@ let experiments : (string * string * (quick:bool -> unit)) list =
     ("par", "E17: domain-parallel speedup campaign (BENCH_par.json)", Exp_par.run);
     ("obs", "E18: observability overhead (observer hook on vs off)", Exp_obs.run);
     ("engine", "E19: engine scheduling throughput (BENCH_engine.json)", Exp_engine.run);
+    ("sched", "E20: randomized-scheduler bug-finding power (BENCH_sched.json)", Exp_sched.run);
   ]
 
 (* Bechamel micro-benchmarks: wall-clock cost of simulated operations. *)

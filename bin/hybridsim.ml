@@ -272,15 +272,62 @@ let explore_cmd =
     let doc = "Write the (possibly shrunk) counterexample schedule to this file." in
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
   in
+  let strategy_arg =
+    let doc =
+      "Search strategy: $(b,dfs) (exhaustive DFS, the default) or a randomized \
+       sampler — $(b,naive) (uniform), $(b,pct) (probabilistic concurrency \
+       testing; see --depth), $(b,pos) (partial order sampling), $(b,surw) \
+       (selectively uniform random walk). Samplers run --runs seeded schedules \
+       derived from --seed and report schedules-to-first-bug with a 95% \
+       confidence interval (docs/SAMPLING.md)."
+    in
+    Arg.(value & opt string "dfs" & info [ "strategy" ] ~docv:"STRAT" ~doc)
+  in
+  let runs_arg =
+    let doc = "Schedules to sample (randomized strategies only)." in
+    Arg.(value & opt int 1_000 & info [ "runs" ] ~docv:"N" ~doc)
+  in
+  let depth_arg =
+    let doc = "PCT bug depth d (d-1 priority-change points per run)." in
+    Arg.(value & opt int 3 & info [ "depth" ] ~docv:"D" ~doc)
+  in
   let action impl cnum quantum layout pb max_runs do_shrink save jobs grain
-      no_dpor ckpt resume cell_wall trace_out metrics_out =
+      no_dpor ckpt resume cell_wall trace_out metrics_out strategy runs depth
+      seed =
    guarded @@ fun () ->
     Resil.install_interrupt_handlers ();
     let b = scenario_of impl cnum quantum layout in
     let o =
-      Explore.explore ?preemption_bound:pb ~max_runs ~step_limit:8_000_000 ~jobs
-        ?grain ~dpor:(not no_dpor) ?cell_wall_s:cell_wall ?checkpoint:ckpt
-        ~resume b.Scenarios.scenario
+      match strategy with
+      | "dfs" ->
+        Explore.explore ?preemption_bound:pb ~max_runs ~step_limit:8_000_000 ~jobs
+          ?grain ~dpor:(not no_dpor) ?cell_wall_s:cell_wall ?checkpoint:ckpt
+          ~resume b.Scenarios.scenario
+      | s -> (
+        match Randsched.of_name ~depth s with
+        | Error m ->
+          Fmt.epr "%s@." m;
+          exit 2
+        | Ok strategy ->
+          let estats = Explore.make_stats ~jobs b.Scenarios.scenario in
+          let o =
+            Explore.sample ~runs ~step_limit:8_000_000 ~jobs ?grain ~stats:estats
+              ~strategy ~seed b.Scenarios.scenario
+          in
+          (match o.Explore.counterexample with
+          | Some _ ->
+            let lo, hi = Explore.stf_ci o in
+            Fmt.pr "%s: first bug at schedule %d of %d (stf 95%% CI [%.1f, %.1f])@."
+              (Randsched.name strategy) o.Explore.runs runs lo hi
+          | None ->
+            let lo, _ = Explore.stf_ci o in
+            Fmt.pr "%s: no bug in %d schedules (stf 95%% lower bound %.1f)@."
+              (Randsched.name strategy) o.Explore.runs lo);
+          (* Engine runs actually performed: with --jobs > 1 cells past a
+             known failure are skipped, so this can exceed [o.runs] (the
+             first-failure index) without affecting determinism. *)
+          Fmt.pr "sampled: %d engine runs@." (Explore.stats_sampled estats);
+          o)
     in
     Fmt.pr "%a@." Explore.pp_outcome o;
     (* Exports are schedule-deterministic: the counterexample's replayed
@@ -333,13 +380,14 @@ let explore_cmd =
       const action $ impl_arg $ cnum_arg $ quantum_arg $ layout_arg $ pb_arg
       $ max_runs_arg $ shrink_arg $ save_arg $ jobs_arg $ grain_arg $ no_dpor_arg
       $ checkpoint_arg $ resume_arg $ cell_wall_arg $ trace_out_arg
-      $ metrics_out_arg)
+      $ metrics_out_arg $ strategy_arg $ runs_arg $ depth_arg $ seed_arg)
   in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
          "Model-check a consensus scenario over scheduler decisions \
-          (domain-parallel with --jobs).")
+          (domain-parallel with --jobs), exhaustively or with randomized \
+          sampling strategies (--strategy naive|pct|pos|surw).")
     term
 
 (* ---- replay: re-judge a saved schedule ---- *)
@@ -353,7 +401,7 @@ let replay_cmd =
   in
   let action impl cnum quantum layout file =
     let b = scenario_of impl cnum quantum layout in
-    match Schedule.load ~path:file with
+    match Schedule.load ~n:(Hwf_sim.Config.n b.Scenarios.scenario.config) ~path:file () with
     | Error m ->
       Fmt.epr "%s@." m;
       exit 2

@@ -13,11 +13,13 @@ let wrap ~victims (policy : Policy.t) =
       p.Policy.own_steps >= after && p.Policy.guarantee = 0
     | None -> false
   in
-  Policy.of_fun (policy.name ^ "+crash") (fun view ->
-      let alive = List.filter (fun p -> not (crashed view p)) view.runnable in
-      match alive with
-      | [] -> None (* only crashed processes are runnable: halt *)
-      | _ -> policy.choose { view with runnable = alive })
+  Policy.of_factory (policy.name ^ "+crash") (fun () ->
+      let choose = Policy.prepare policy in
+      fun view ->
+        let alive = List.filter (fun p -> not (crashed view p)) view.runnable in
+        match alive with
+        | [] -> None (* only crashed processes are runnable: halt *)
+        | _ -> choose { view with runnable = alive })
 
 let survivors_finished (r : Engine.result) ~victims =
   let ok = ref true in

@@ -42,47 +42,17 @@ type outcome = {
    [Trace.now_reads]): a run that read the clock taints the search —
    see [explore] below for how taint is handled. *)
 
-(* Footprint of one candidate at one decision point. *)
-type cand = {
-  cpid : Proc.pid;
-  cproc : int;  (* processor *)
-  cvar : string option;  (* shared variable touched next, if any *)
-  cwrite : bool;
-  cknown : bool;  (* footprint known? unknown => conservatively dependent *)
-}
+(* Footprint of one candidate at one decision point. The footprint
+   record and the independence judgement live in [Policy] (the view
+   layer) since the POS sampler in [Randsched] needs the same notions. *)
+type cand = Policy.footprint
 
 (* Sleep sets are pid bitmasks in an [int]; pruning is disabled for
    configurations wider than this (none exist in practice). *)
 let max_sleep_pids = 62
 
-let footprint (view : Policy.view) pid =
-  let pv = view.Policy.procs.(pid) in
-  match (pv.Policy.phase, pv.Policy.next_op) with
-  | Policy.Ready, Some op ->
-    let cvar, cwrite =
-      match op with
-      | Op.Read v -> (Some v, false)
-      | Op.Write v -> (Some v, true)
-      | Op.Rmw { var; _ } -> (Some var, true)
-      | Op.Local _ -> (None, false)
-    in
-    { cpid = pid; cproc = pv.Policy.processor; cvar; cwrite; cknown = true }
-  | _ ->
-    {
-      cpid = pid;
-      cproc = pv.Policy.processor;
-      cvar = None;
-      cwrite = true;
-      cknown = false;
-    }
-
-let independent a b =
-  a.cknown && b.cknown
-  && a.cproc <> b.cproc
-  &&
-  match (a.cvar, b.cvar) with
-  | Some x, Some y -> (not (a.cwrite || b.cwrite)) || not (String.equal x y)
-  | None, _ | _, None -> true
+let footprint = Policy.footprint
+let independent = Policy.independent
 
 let slept mask pid = mask land (1 lsl pid) <> 0
 
@@ -92,7 +62,7 @@ let slept mask pid = mask land (1 lsl pid) <> 0
    but sound. *)
 let first_awake cands mask =
   let n = Array.length cands in
-  let rec go j = if j >= n then 0 else if slept mask cands.(j).cpid then go (j + 1) else j in
+  let rec go j = if j >= n then 0 else if slept mask cands.(j).Policy.fpid then go (j + 1) else j in
   go 0
 
 let no_cands : cand array = [||]
@@ -119,6 +89,7 @@ type slot = {
 type stats = {
   subtree_runs : int Atomic.t array;  (* indexed by top-level choice *)
   pruned : int Atomic.t;  (* sibling branches skipped as slept *)
+  sampled : int Atomic.t;  (* engine runs performed by [sample] *)
   pool : Hwf_par.Pool.stats;
 }
 
@@ -129,12 +100,19 @@ let make_stats ?jobs scenario =
   {
     subtree_runs = Array.init (max 1 (Config.n scenario.config)) (fun _ -> Atomic.make 0);
     pruned = Atomic.make 0;
+    sampled = Atomic.make 0;
     pool = Hwf_par.Pool.make_stats ~jobs;
   }
 
 let stats_subtree_runs s = Array.map Atomic.get s.subtree_runs
 let stats_pruned s = Atomic.get s.pruned
+let stats_sampled s = Atomic.get s.sampled
 let stats_pool s = s.pool
+
+let record_sampled stats =
+  match stats with
+  | None -> ()
+  | Some s -> ignore (Atomic.fetch_and_add s.sampled 1)
 
 let record_run stats slots =
   match stats with
@@ -242,8 +220,8 @@ let run_one ~dpor ~preemption_bound ~max_depth ~step_limit ~config ?arena instan
       let z = ref 0 in
       Array.iteri
         (fun j c ->
-          if (j < idx || slept !sleep c.cpid) && independent c taken then
-            z := !z lor (1 lsl c.cpid))
+          if (j < idx || slept !sleep c.Policy.fpid) && independent c taken then
+            z := !z lor (1 lsl c.Policy.fpid))
         cands;
       sleep := !z
     end;
@@ -275,7 +253,7 @@ let backtrack ~dpor ?stats slots =
           record_pruned stats !skipped;
           None
         end
-        else if slept s.sleep s.cands.(j).cpid then begin
+        else if slept s.sleep s.cands.(j).Policy.fpid then begin
           incr skipped;
           go (j + 1)
         end
@@ -764,24 +742,70 @@ let iter_schedules ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
   loop [||];
   !runs
 
-let random_runs ?(runs = 1_000) ?(step_limit = 100_000) ?(on_step_limit = `Fail)
-    ?(jobs = 1) ?grain ?stats ~seed scenario =
-  (* Run [i] is fully determined by [seed + i], so the cells are
-     independent and the parallel merge is by index: the reported
-     counterexample is the lowest-index failure, exactly the one the
-     sequential loop stops at. *)
+(* Per-run seed derivation for sampling campaigns, exposed for the
+   regression test that adjacent campaign seeds stay disjoint. *)
+let run_seed = Randsched.mix
+
+(* Wrap a policy so the decisions it takes (the schedule) are recorded:
+   a sampled counterexample then carries a replayable decision list and
+   flows through the ordinary [Schedule]/[Shrink] pipeline. *)
+let record_decisions policy decisions =
+  Policy.of_factory policy.Policy.name (fun () ->
+      let choose = Policy.prepare policy in
+      fun view ->
+        match choose view with
+        | Some pid as r ->
+          decisions := pid :: !decisions;
+          r
+        | None -> None)
+
+let sample ?(runs = 1_000) ?(step_limit = 100_000) ?(on_step_limit = `Fail)
+    ?(jobs = 1) ?grain ?stats ?runner ~strategy ~seed scenario =
+  (* Run [i] is fully determined by [run_seed seed i] (a splitmix-style
+     hash — the earlier [seed + i] scheme made adjacent campaign seeds
+     share all but one of their runs), so the cells are independent and
+     the parallel merge is by index: the reported counterexample is the
+     lowest-index failure, exactly the one the sequential loop stops
+     at. *)
+  let profile, horizon =
+    (* SURW weights candidates by estimated remaining statements and PCT
+       draws change points over a schedule-length horizon; both
+       estimates come from one deterministic pilot run, computed before
+       the fan-out so run [i] stays a pure function of [run_seed seed i]
+       and cells remain independent across [jobs]. *)
+    match strategy with
+    | Randsched.Naive | Randsched.Pos -> (None, None)
+    | Randsched.Pct _ | Randsched.Surw ->
+      let instance = scenario.make () in
+      let result =
+        Engine.run ~step_limit ~config:scenario.config
+          ~policy:(Policy.round_robin ()) instance.programs
+      in
+      let total = Array.fold_left ( + ) 0 result.own_steps in
+      (Some result.own_steps, Some (max 16 total))
+  in
   let one arena i =
     let instance = scenario.make () in
-    let policy = Policy.random ~seed:(seed + i) in
-    let trace_buf = arena_trace arena scenario.config in
-    let result =
-      Engine.run ~step_limit ~trace_buf ~config:scenario.config ~policy
-        instance.programs
+    let decisions = ref [] in
+    let policy =
+      record_decisions
+        (Randsched.policy ?horizon ?profile strategy
+           ~seed:(run_seed seed i))
+        decisions
     in
+    let result =
+      match runner with
+      | None ->
+        let trace_buf = arena_trace arena scenario.config in
+        Engine.run ~step_limit ~trace_buf ~config:scenario.config ~policy
+          instance.programs
+      | Some f -> f ~step_limit ~policy instance
+    in
+    record_sampled stats;
     match verdict ~on_step_limit instance result with
     | Error message ->
       sever arena;
-      Some { message; trace = result.trace; decisions = [] }
+      Some { message; trace = result.trace; decisions = List.rev !decisions }
     | Ok () -> None
   in
   if jobs <= 1 then begin
@@ -839,6 +863,32 @@ let random_runs ?(runs = 1_000) ?(step_limit = 100_000) ?(on_step_limit = `Fail)
     | None ->
       { runs; exhaustive = false; counterexample = None; coverage = Resil.full_coverage 1 }
   end
+
+let random_runs ?runs ?step_limit ?on_step_limit ?jobs ?grain ?stats ~seed
+    scenario =
+  sample ?runs ?step_limit ?on_step_limit ?jobs ?grain ?stats
+    ~strategy:Randsched.Naive ~seed scenario
+
+(* Exact (Clopper–Pearson-style) confidence interval on
+   schedules-to-first-bug from a geometric observation: the first bug at
+   run [k] inverts P(X <= k) resp. P(X >= k) at alpha/2; no bug in [n]
+   runs gives the one-sided "rule of three" bound. *)
+let stf_ci ?(level = 0.95) (o : outcome) =
+  let alpha = 1.0 -. level in
+  match o.counterexample with
+  | Some _ ->
+    let k = float_of_int (max 1 o.runs) in
+    let p_lo = 1.0 -. ((1.0 -. (alpha /. 2.0)) ** (1.0 /. k)) in
+    let p_hi =
+      if o.runs <= 1 then 1.0 else 1.0 -. ((alpha /. 2.0) ** (1.0 /. (k -. 1.0)))
+    in
+    (1.0 /. p_hi, 1.0 /. p_lo)
+  | None ->
+    if o.runs <= 0 then (0.0, infinity)
+    else
+      let n = float_of_int o.runs in
+      let p_hi = 1.0 -. (alpha ** (1.0 /. n)) in
+      (1.0 /. p_hi, infinity)
 
 let pp_outcome ppf o =
   (match o.counterexample with

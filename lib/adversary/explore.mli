@@ -108,6 +108,10 @@ val stats_pruned : stats -> int
     each skip is a whole subtree the pruned search did not have to
     enumerate. Zero on uniprocessor scenarios and with [~dpor:false]. *)
 
+val stats_sampled : stats -> int
+(** Engine runs performed by {!sample} (and {!random_runs}) — the
+    sampling analogue of the subtree run counts. *)
+
 val stats_pool : stats -> Hwf_par.Pool.stats
 
 val explore :
@@ -194,6 +198,59 @@ val iter_schedules :
     — callers ({!Bivalence}) reason about the full enumeration. Used by
     {!Bivalence}. *)
 
+val run_seed : int -> int -> int
+(** [run_seed seed i] is the seed of run [i] of sampling campaign
+    [seed] ({!Randsched.mix}): a splitmix-style hash, so adjacent
+    campaign seeds share no per-run streams. Exposed for tests. *)
+
+val sample :
+  ?runs:int ->
+  ?step_limit:int ->
+  ?on_step_limit:[ `Fail | `Ignore ] ->
+  ?jobs:int ->
+  ?grain:int ->
+  ?stats:stats ->
+  ?runner:
+    (step_limit:int -> policy:Hwf_sim.Policy.t -> instance -> Hwf_sim.Engine.result) ->
+  strategy:Randsched.strategy ->
+  seed:int ->
+  scenario ->
+  outcome
+(** Volume testing with seeded randomized schedules — the statistical
+    complement to [explore] for configurations too large to enumerate,
+    parametric in the {!Randsched.strategy} (docs/SAMPLING.md). Run [i]
+    uses seed [run_seed seed i], so runs are independent cells: with
+    [jobs > 1] they are distributed over a domain pool and the reported
+    counterexample is the lowest-index failure — the same one the
+    sequential loop stops at, with the same [runs] count, byte-identical
+    across [jobs]/[grain]. These cells are micro-cells (one engine run
+    each), so [grain] matters here: the default chunks hundreds of runs
+    per claim ([docs/PARALLELISM.md] has the tuning guide).
+
+    [outcome.runs] is the number of schedules to the first bug when a
+    counterexample is reported ({!stf_ci} turns it into an interval),
+    and the full budget otherwise; [exhaustive] is always false. The
+    counterexample carries the recorded decision schedule, so it replays
+    and shrinks through {!Schedule}/{!Shrink} exactly like an [explore]
+    counterexample.
+
+    PCT's horizon and SURW's per-pid statement profile are estimated by
+    one deterministic round-robin pilot run before the fan-out (pure
+    function of the scenario, so determinism across [jobs] holds).
+
+    [runner] substitutes the engine invocation (e.g. routing through
+    [Hwf_faults.Inject.run] with a fault plan); it must execute
+    [instance.programs] under exactly the given policy and step limit,
+    freshly per call. Default: a plain [Engine.run] with per-worker
+    scratch traces. *)
+
+val stf_ci : ?level:float -> outcome -> float * float
+(** Exact confidence interval (default [level] 0.95) on the expected
+    schedules-to-first-bug implied by a {!sample} outcome, from the
+    geometric likelihood of the observation. First bug at run [k]:
+    two-sided interval around [k]; no bug in [n] runs: one-sided
+    [(lo, infinity)] ("rule of three"). *)
+
 val random_runs :
   ?runs:int ->
   ?step_limit:int ->
@@ -204,14 +261,6 @@ val random_runs :
   seed:int ->
   scenario ->
   outcome
-(** Volume testing with seeded random schedules; a complement to
-    [explore] for configurations too large to enumerate. Run [i] uses
-    seed [seed + i], so runs are independent cells: with [jobs > 1] they
-    are distributed over a domain pool and the reported counterexample
-    is the lowest-index failure — the same one the sequential loop stops
-    at, with the same [runs] count. These cells are micro-cells (one
-    engine run each), so [grain] matters here: the default chunks
-    hundreds of runs per claim ([docs/PARALLELISM.md] has the tuning
-    guide). *)
+(** [sample ~strategy:Randsched.Naive] — uniform random schedules. *)
 
 val pp_outcome : outcome Fmt.t

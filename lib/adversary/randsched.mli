@@ -1,0 +1,57 @@
+(** Randomized scheduling adversaries (docs/SAMPLING.md).
+
+    Exhaustive exploration ({!Explore.explore}) caps out at tiny process
+    counts; these strategies trade certainty for statistical power at
+    production scale. Each is a seeded {!Hwf_sim.Policy.t} factory —
+    [seed -> schedule], with all state created per run — so a sampled
+    counterexample is replayable bit-for-bit and shrinkable through the
+    ordinary {!Schedule}/{!Shrink} pipeline, and the same seed yields
+    the same schedule regardless of how runs are distributed over
+    domains.
+
+    - {b Naive}: a uniform draw among runnable processes per decision
+      ({!Hwf_sim.Policy.random}) — the baseline.
+    - {b PCT} (Burckhardt et al., ASPLOS 2010): priority-point
+      scheduling with a [1/(n·k^(d-1))] guarantee of hitting any bug of
+      depth [d] over horizon [k].
+    - {b POS} (Yuan et al., CAV 2018): random priorities reassigned
+      after each partial-order-relevant step, using the same
+      {!Hwf_sim.Policy.footprint} independence the sleep sets use.
+    - {b SURW} (ASPLOS 2025): random walk weighted per state by each
+      candidate's estimated remaining statements, approximating a
+      uniform draw over maximal schedules rather than over decisions.
+
+    {!Explore.sample} hosts them over a scenario and reports
+    schedules-to-first-bug; [hybridsim explore --strategy] and the E20
+    benchmark ([bench/exp_sched.ml]) are the entry points. *)
+
+type strategy =
+  | Naive
+  | Pct of { depth : int }
+      (** [depth] is the targeted bug depth [d] (number of ordered
+          scheduling constraints); [d - 1] priority-change points are
+          drawn per run. *)
+  | Pos
+  | Surw
+
+val name : strategy -> string
+(** ["naive" | "pct" | "pos" | "surw"] — the CLI/JSON token. *)
+
+val pp : Format.formatter -> strategy -> unit
+
+val of_name : ?depth:int -> string -> (strategy, string) result
+(** Parse a CLI token ([?depth], default 3, applies to ["pct"]). *)
+
+val mix : int -> int -> int
+(** [mix seed i] derives the seed of run [i] of campaign [seed] with a
+    splitmix64-style finalizer: non-negative, and unrelated across both
+    arguments — adjacent campaign seeds share no per-run streams
+    (unlike the earlier [seed + i] scheme). *)
+
+val policy : ?horizon:int -> ?profile:int array -> strategy -> seed:int -> Hwf_sim.Policy.t
+(** The strategy as a per-run-deterministic policy. [horizon] (default
+    1024) is PCT's schedule-length estimate [k], over which the change
+    points are drawn. [profile] is SURW's per-pid total-statement
+    estimate, typically a pilot run's [Engine.result.own_steps];
+    without it SURW degrades to a uniform walk. Both are ignored by the
+    other strategies. *)

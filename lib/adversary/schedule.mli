@@ -13,11 +13,18 @@ type t = Hwf_sim.Proc.pid list
 val to_string : t -> string
 (** One decision per token, 1-based pids: ["1 2 2 1"]. *)
 
-val of_string : string -> (t, string) result
+val of_string : ?n:int -> string -> (t, string) result
+(** Parses and validates: every token must be an integer [>= 1] (pids
+    are 1-based on the wire) and [<= n] when the scenario's process
+    count [n] is known. A failing token is named in the [Error] —
+    out-of-range pids used to parse into decisions that were silently
+    never runnable, so a corrupt saved schedule replayed as if empty
+    and could vacuously pass {!verdict}. *)
 
 val save : path:string -> t -> unit
 
-val load : path:string -> (t, string) result
+val load : ?n:int -> path:string -> unit -> (t, string) result
+(** [of_string] over the file's contents; [Sys_error]s become [Error]. *)
 
 val replay :
   ?step_limit:int ->

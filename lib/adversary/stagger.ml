@@ -5,47 +5,52 @@ let starts_with ~prefix s =
   && String.sub s 0 (String.length prefix) = prefix
 
 let preempt_after_rmw ?(victim_ops = 1) ~var_prefix ~(fallback : Policy.t) () =
-  let last = ref (-1) in
-  let last_was_target = ref false in
-  let victimized = Hashtbl.create 8 in
-  let choose (view : Policy.view) =
-    let switch_target () =
-      (* Prefer a runnable process other than the one just preempted. *)
-      match List.filter (fun p -> p <> !last) view.runnable with
-      | [] -> fallback.choose view
-      | others ->
-        (* Deterministic rotation: pick the next pid after [last]. *)
-        (match List.find_opt (fun p -> p > !last) others with
-        | Some p -> Some p
-        | None -> Some (List.hd others))
-    in
-    let count pid = Option.value ~default:0 (Hashtbl.find_opt victimized pid) in
-    let pick =
-      if !last_was_target && count !last < victim_ops then begin
-        Hashtbl.replace victimized !last (count !last + 1);
-        switch_target ()
-      end
-      else fallback.choose view
-    in
-    (match pick with
-    | Some pid ->
-      last := pid;
-      let pv = view.procs.(pid) in
-      last_was_target :=
-        (match pv.next_op with
-        | Some (Op.Rmw { var; _ }) -> starts_with ~prefix:var_prefix var
-        | Some (Op.Read _ | Op.Write _ | Op.Local _) | None -> false)
-    | None -> ());
-    pick
-  in
-  Policy.of_fun (Printf.sprintf "stagger(%s)" var_prefix) choose
+  Policy.of_factory
+    (Printf.sprintf "stagger(%s)" var_prefix)
+    (fun () ->
+      let fb = Policy.prepare fallback in
+      let last = ref (-1) in
+      let last_was_target = ref false in
+      let victimized = Hashtbl.create 8 in
+      fun (view : Policy.view) ->
+        let switch_target () =
+          (* Prefer a runnable process other than the one just preempted. *)
+          match List.filter (fun p -> p <> !last) view.runnable with
+          | [] -> fb view
+          | others ->
+            (* Deterministic rotation: pick the next pid after [last]. *)
+            (match List.find_opt (fun p -> p > !last) others with
+            | Some p -> Some p
+            | None -> Some (List.hd others))
+        in
+        let count pid = Option.value ~default:0 (Hashtbl.find_opt victimized pid) in
+        let pick =
+          if !last_was_target && count !last < victim_ops then begin
+            Hashtbl.replace victimized !last (count !last + 1);
+            switch_target ()
+          end
+          else fb view
+        in
+        (match pick with
+        | Some pid ->
+          last := pid;
+          let pv = view.procs.(pid) in
+          last_was_target :=
+            (match pv.next_op with
+            | Some (Op.Rmw { var; _ }) -> starts_with ~prefix:var_prefix var
+            | Some (Op.Read _ | Op.Write _ | Op.Local _) | None -> false)
+        | None -> ());
+        pick)
 
 let exhaustion_pressure ~seed ~var_prefix () =
   preempt_after_rmw ~var_prefix ~fallback:(Policy.random ~seed) ()
 
 let delayed_wake ~seed ~wake_every () =
-  let st = Random.State.make [| seed; 0xd31a |] in
-  Policy.of_fun (Printf.sprintf "delayed-wake(%d)" wake_every) (fun (view : Policy.view) ->
+  Policy.of_factory
+    (Printf.sprintf "delayed-wake(%d)" wake_every)
+    (fun () ->
+      let st = Random.State.make [| seed; 0xd31a |] in
+      fun (view : Policy.view) ->
       let ready, thinking =
         List.partition
           (fun p -> view.procs.(p).Policy.phase = Policy.Ready)

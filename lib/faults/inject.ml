@@ -48,14 +48,16 @@ let run ?step_limit ?observer ~plan ~config ~policy programs =
 let run_recorded ?step_limit ?observer ~plan ~config ~policy programs =
   let decisions = ref [] in
   let recording =
-    Policy.of_fun
+    Policy.of_factory
       (policy.Policy.name ^ "+rec")
-      (fun view ->
-        match policy.Policy.choose view with
-        | Some pid as r ->
-          decisions := pid :: !decisions;
-          r
-        | None -> None)
+      (fun () ->
+        let choose = Policy.prepare policy in
+        fun view ->
+          match choose view with
+          | Some pid as r ->
+            decisions := pid :: !decisions;
+            r
+          | None -> None)
   in
   let result = run ?step_limit ?observer ~plan ~config ~policy:recording programs in
   (result, List.rev !decisions)

@@ -42,6 +42,10 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
   let n = Config.n config in
   if Array.length programs <> n then
     invalid_arg "Engine.run: program count <> process count";
+  (* Instantiate the policy's per-run decision function exactly once:
+     stateful policies (round-robin cursor, seeded RNG, script position)
+     get fresh state here, so reusing one [Policy.t] across runs is safe. *)
+  let choose = Policy.prepare policy in
   let trace =
     match trace_buf with
     | None -> Trace.create config
@@ -442,7 +446,7 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
        let view : Policy.view =
          { step = Trace.statements trace; runnable = schedulable; procs = views }
        in
-       (match policy.choose view with
+       (match choose view with
        | None ->
          stop := Policy_stopped;
          raise Exit

@@ -15,51 +15,76 @@ type pview = {
 
 type view = { step : int; runnable : Proc.pid list; procs : pview array }
 
-type t = { name : string; choose : view -> Proc.pid option }
+type t = { name : string; make : unit -> view -> Proc.pid option }
 
-let of_fun name choose = { name; choose }
+let of_fun name choose = { name; make = (fun () -> choose) }
+let of_factory name make = { name; make }
+let prepare t = t.make ()
 
 let round_robin () =
-  let last = ref (-1) in
-  of_fun "round-robin" (fun v ->
-      match v.runnable with
-      | [] -> None
-      | l ->
-        let pick =
-          match List.find_opt (fun p -> p > !last) l with
-          | Some p -> p
-          | None -> List.hd l
-        in
-        last := pick;
-        Some pick)
+  of_factory "round-robin" (fun () ->
+      let last = ref (-1) in
+      fun v ->
+        match v.runnable with
+        | [] -> None
+        | l ->
+          let pick =
+            match List.find_opt (fun p -> p > !last) l with
+            | Some p -> p
+            | None -> List.hd l
+          in
+          last := pick;
+          Some pick)
 
 let random ~seed =
-  let st = Random.State.make [| seed |] in
-  of_fun (Printf.sprintf "random(%d)" seed) (fun v ->
-      match v.runnable with
-      | [] -> None
-      | l -> Some (List.nth l (Random.State.int st (List.length l))))
+  of_factory
+    (Printf.sprintf "random(%d)" seed)
+    (fun () ->
+      let st = Random.State.make [| seed |] in
+      (* Scratch pid buffer, grown on demand: one pass over [runnable]
+         replaces the List.length + List.nth double traversal while
+         keeping the RNG stream identical (one [int] draw per decision,
+         same bound). *)
+      let buf = ref (Array.make 8 0) in
+      fun v ->
+        match v.runnable with
+        | [] -> None
+        | l ->
+          let n = ref 0 in
+          List.iter
+            (fun pid ->
+              if !n >= Array.length !buf then begin
+                let bigger = Array.make (2 * Array.length !buf) 0 in
+                Array.blit !buf 0 bigger 0 !n;
+                buf := bigger
+              end;
+              !buf.(!n) <- pid;
+              incr n)
+            l;
+          Some !buf.(Random.State.int st !n))
 
 let scripted ?fallback script =
-  let remaining = ref script in
-  of_fun "scripted" (fun v ->
-      let rec next () =
-        match !remaining with
-        | [] -> (match fallback with Some f -> f.choose v | None -> None)
-        | pid :: rest ->
-          if List.mem pid v.runnable then begin
-            remaining := rest;
-            Some pid
-          end
-          else begin
-            match fallback with
-            | Some _ ->
+  of_factory "scripted" (fun () ->
+      let remaining = ref script in
+      let fb = Option.map (fun f -> f.make ()) fallback in
+      fun v ->
+        let rec next () =
+          match !remaining with
+          | [] -> (match fb with Some f -> f v | None -> None)
+          | pid :: rest ->
+            if List.mem pid v.runnable then begin
               remaining := rest;
-              next ()
-            | None -> None
-          end
-      in
-      next ())
+              Some pid
+            end
+            else begin
+              match fb with
+              | Some _ ->
+                remaining := rest;
+                next ()
+              | None -> None
+            end
+        in
+        next ())
 
 let first =
   of_fun "first" (fun v -> match v.runnable with [] -> None | pid :: _ -> Some pid)
@@ -80,7 +105,46 @@ let by_priority =
              first rest))
 
 let prefer pids ~fallback =
-  of_fun "prefer" (fun v ->
-      match List.find_opt (fun p -> List.mem p v.runnable) pids with
-      | Some p -> Some p
-      | None -> fallback.choose v)
+  of_factory "prefer" (fun () ->
+      let fb = fallback.make () in
+      fun v ->
+        match List.find_opt (fun p -> List.mem p v.runnable) pids with
+        | Some p -> Some p
+        | None -> fb v)
+
+(* Data footprints over the policy view: what the next statement of a
+   candidate would touch. Shared by the sleep-set pruning in
+   [Hwf_adversary.Explore] and the POS sampler in
+   [Hwf_adversary.Randsched] — both need the same independence
+   judgement, so it lives here at the view layer. *)
+
+type footprint = {
+  fpid : Proc.pid;
+  fproc : int;
+  fvar : string option;
+  fwrite : bool;
+  fknown : bool;
+}
+
+let footprint (view : view) pid =
+  let pv = view.procs.(pid) in
+  match (pv.phase, pv.next_op) with
+  | Ready, Some op ->
+    let fvar, fwrite =
+      match op with
+      | Op.Read v -> (Some v, false)
+      | Op.Write v -> (Some v, true)
+      | Op.Rmw { var; _ } -> (Some var, true)
+      | Op.Local _ -> (None, false)
+    in
+    { fpid = pid; fproc = pv.processor; fvar; fwrite; fknown = true }
+  | _ ->
+    { fpid = pid; fproc = pv.processor; fvar = None; fwrite = true; fknown = false }
+
+let independent a b =
+  a.fknown && b.fknown
+  && a.fproc <> b.fproc
+  &&
+  match (a.fvar, b.fvar) with
+  | Some x, Some y -> (not (a.fwrite || b.fwrite)) || not (String.equal x y)
+  | None, _ | _, None -> true

@@ -41,24 +41,47 @@ type view = {
           immutable and safe to keep. *)
 }
 
-type t = { name : string; choose : view -> Proc.pid option }
+type t = { name : string; make : unit -> view -> Proc.pid option }
+(** A policy is a {e factory}: [make ()] instantiates the per-run
+    decision function, with any policy state ([round_robin]'s cursor,
+    [random]'s RNG, [scripted]'s remaining script) created fresh inside
+    that call. {!Engine.run} calls [make] exactly once per run, so one
+    [t] value may be reused across any number of runs — each run sees
+    virgin state and identical seeds replay identical schedules. *)
 
 val of_fun : string -> (view -> Proc.pid option) -> t
+(** Wrap a {e stateless} decision function: every run shares [choose].
+    If the closure carries mutable state, use {!of_factory} instead —
+    [of_fun] would leak that state across runs. *)
+
+val of_factory : string -> (unit -> view -> Proc.pid option) -> t
+(** Wrap a per-run decision-function factory. [make] is invoked once at
+    the start of each {!Engine.run}; allocate all mutable policy state
+    inside it. *)
+
+val prepare : t -> view -> Proc.pid option
+(** [prepare t] instantiates one run's decision function ([t.make ()]).
+    Harness code that drives a policy outside {!Engine.run} (recorders,
+    wrappers) should call this once per run and reuse the result, never
+    per decision. *)
 
 val round_robin : unit -> t
 (** Cycles fairly through runnable processes in pid order; wakes thinking
     processes eagerly. Every process makes progress — a "fair" scheduler
-    in the Sec. 5 sense. Stateful: create a fresh one per run. *)
+    in the Sec. 5 sense. The cursor is per-run state: reusing the value
+    across runs is safe. *)
 
 val random : seed:int -> t
-(** Picks uniformly among runnable processes. Deterministic per seed. *)
+(** Picks uniformly among runnable processes. Deterministic per seed,
+    with a fresh RNG per run: the same value replays the same schedule
+    on every run. *)
 
 val scripted : ?fallback:t -> Proc.pid list -> t
 (** Follows the given pid sequence, skipping entries that are not
     currently runnable only if a [fallback] is given (otherwise such an
     entry stops the run). When the script is exhausted, defers to
     [fallback], or stops. The adversarial constructions of Sec. 4.1 are
-    expressed as scripts. *)
+    expressed as scripts. The script position is per-run state. *)
 
 val first : t
 (** Always the lowest-pid runnable process. Deterministic baseline. *)
@@ -76,3 +99,30 @@ val prefer : Proc.pid list -> fallback:t -> t
 (** Picks the first process of [pids] (in order) that is runnable;
     otherwise defers to [fallback]. The building block for targeted
     starvation and ordering scenarios. *)
+
+(** {2 Data footprints}
+
+    What a candidate's next statement would touch, as visible through
+    the policy view. Two candidates are {e independent} when executing
+    them in either order yields the same engine state: they must be on
+    different processors (same-processor order feeds the Axiom 1/2
+    scheduler state) and their next statements must not conflict on a
+    shared variable. Anything not fully visible — a thinking process,
+    an unknown next op — is conservatively dependent. Used by the
+    sleep-set pruning in [Hwf_adversary.Explore] and the partial-order
+    sampling strategy in [Hwf_adversary.Randsched]. *)
+
+type footprint = {
+  fpid : Proc.pid;
+  fproc : int;  (** Processor. *)
+  fvar : string option;  (** Shared variable touched next, if any. *)
+  fwrite : bool;
+  fknown : bool;  (** Footprint known? unknown => conservatively dependent. *)
+}
+
+val footprint : view -> Proc.pid -> footprint
+(** Footprint of one candidate at the current decision point. *)
+
+val independent : footprint -> footprint -> bool
+(** Sound independence judgement over two footprints ([false] when in
+    doubt). *)

@@ -131,12 +131,13 @@ let adversarial_policies ~seeds ~var_prefix =
            (fun () ->
              (* staggering with random escapes: breaks the lockstep that
                 pure max-interleave can settle into *)
-             let stagger = Stagger.max_interleave () in
-             Policy.of_fun "stagger-mix" (fun v ->
-                 let st = Random.State.make [| seed; v.Policy.step |] in
-                 if Random.State.int st 4 = 0 then
-                   (Policy.random ~seed:(seed + v.Policy.step)).choose v
-                 else stagger.choose v));
+             Policy.of_factory "stagger-mix" (fun () ->
+                 let stagger = Policy.prepare (Stagger.max_interleave ()) in
+                 fun v ->
+                   let st = Random.State.make [| seed; v.Policy.step |] in
+                   if Random.State.int st 4 = 0 then
+                     Policy.prepare (Policy.random ~seed:(seed + v.Policy.step)) v
+                   else stagger v));
          ])
        seeds
 

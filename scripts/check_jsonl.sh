@@ -9,6 +9,10 @@
 # fresh header line may restart a block mid-file. Checkpoint journals
 # are crash-tolerant by design: a partial *final* line (a write cut by
 # SIGKILL) is allowed for hwf-ckpt/1 only, mirroring the loader.
+#
+# hwf-bench-sched/1 (docs/SAMPLING.md, BENCH_sched.json) is the one
+# whole-file JSON schema: a single pretty-printed object whose "cells"
+# rows each carry case/strategy/runs/found.
 set -u
 
 if [ "$#" -lt 1 ]; then
@@ -29,8 +33,26 @@ if not lines:
 
 try:
     head = json.loads(lines[0])
-except json.JSONDecodeError as e:
-    sys.exit(f"{path}: line 1 is not valid JSON: {e}")
+except json.JSONDecodeError:
+    # Not a one-line header: try the whole-file JSON schemas.
+    try:
+        doc = json.loads("\n".join(lines))
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: neither JSONL nor whole-file JSON: {e}")
+    if not isinstance(doc, dict) or doc.get("schema") != "hwf-bench-sched/1":
+        sys.exit(f"{path}: whole-file JSON has no known schema "
+                 f"(got {doc.get('schema') if isinstance(doc, dict) else type(doc).__name__!r})")
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        sys.exit(f"{path}: hwf-bench-sched/1 lacks a non-empty \"cells\" array")
+    for j, cell in enumerate(cells):
+        if not isinstance(cell, dict):
+            sys.exit(f"{path}: cells[{j}] is not a JSON object")
+        for field in ("case", "strategy", "runs", "found"):
+            if field not in cell:
+                sys.exit(f"{path}: cells[{j}] lacks {field!r}")
+    print(f"{path}: OK (hwf-bench-sched/1, {len(cells)} cells)")
+    sys.exit(0)
 if not isinstance(head, dict):
     sys.exit(f"{path}: line 1 is not a JSON object")
 keys = {"hwf-trace/1": "ev", "hwf-metrics/1": "m", "hwf-lint/1": "l",

@@ -181,3 +181,109 @@ let fires ?budget (c : case) =
     List.exists
       (fun (f : Checks.finding) -> f.Checks.rule = c.expected_rule)
       (Lint.errors o) )
+
+(* ---- dynamic detection scenarios (for the randomized samplers) ----
+
+   The linter rejects these cases statically; [scenario_of] re-poses
+   each as an [Explore.scenario] whose [check] detects the bug
+   {e dynamically}, so [Explore.sample] (and the E20 benchmark) can
+   measure schedules-to-first-bug on them. Detection per family:
+
+   - harness-access cases: [Shared.peek]/[poke] raise
+     [Invalid_argument] from process code; the wrapped body catches it
+     (the engine tolerates the resulting mid-invocation return) and the
+     check reports it.
+   - [spin_unbounded]: the run hits the step limit — [sample]'s
+     [`Fail] verdict catches it; the check also flags unfinished
+     processes for [`Ignore] callers.
+   - [wrong_constant]: completed invocations are counted against the
+     declared per-invocation constant from the trace.
+   - [quantum_below]: rebuilt with recorded outputs; the check demands
+     agreement on a proposed value — the genuinely schedule-dependent
+     case of the corpus.
+   - [mid_inv_set_priority]: not sampleable — the engine itself raises
+     on the illegal priority change, so no [Engine.result] exists to
+     judge; [scenario_of] returns [None]. *)
+
+module Explore = Hwf_adversary.Explore
+
+let scenario_of (c : case) : Explore.scenario option =
+  let spec = c.spec in
+  let name = "corpus:" ^ spec.Lint.name in
+  match spec.Lint.name with
+  | "mid-inv-set-priority" -> None
+  | "quantum-below" ->
+    let make () =
+      let obj = Uni_consensus.make "qb.cons" in
+      let outs = [| min_int; min_int |] in
+      let programs =
+        Array.init 2 (fun pid () ->
+            Eff.invocation "decide" (fun () ->
+                outs.(pid) <- Uni_consensus.decide obj (100 + pid)))
+      in
+      let check (r : Engine.result) =
+        if not (Array.for_all Fun.id r.Engine.finished) then Ok ()
+        else if outs.(0) <> outs.(1) then
+          Error
+            (Printf.sprintf "consensus disagreement: %d vs %d" outs.(0) outs.(1))
+        else if outs.(0) <> 100 && outs.(0) <> 101 then
+          Error (Printf.sprintf "invalid decision %d" outs.(0))
+        else Ok ()
+      in
+      { Explore.programs; check }
+    in
+    Some { Explore.name; config = spec.Lint.config; make }
+  | _ ->
+    let declared =
+      match spec.Lint.expect with Checks.Exact k -> Some k | _ -> None
+    in
+    let make () =
+      let violation = ref None in
+      let inner = spec.Lint.make () in
+      let programs =
+        Array.map
+          (fun body () ->
+            try body ()
+            with Invalid_argument msg -> if !violation = None then violation := Some msg)
+          inner
+      in
+      let check (r : Engine.result) =
+        match !violation with
+        | Some msg -> Error msg
+        | None -> (
+          match declared with
+          | None ->
+            if Array.for_all Fun.id r.Engine.finished then Ok ()
+            else Error "process failed to finish (possible unbounded loop)"
+          | Some k ->
+            let counts = Hashtbl.create 8 in
+            let bad = ref None in
+            Trace.iter
+              (fun ev ->
+                match ev with
+                | Trace.Stmt { pid; inv; _ } ->
+                  let key = (pid, inv) in
+                  Hashtbl.replace counts key
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+                | Trace.Inv_end { pid; inv; _ } ->
+                  let n =
+                    Option.value ~default:0 (Hashtbl.find_opt counts (pid, inv))
+                  in
+                  if n <> k && !bad = None then
+                    bad :=
+                      Some
+                        (Printf.sprintf
+                           "invocation %d of p%d executed %d statements, declared %d"
+                           inv pid n k)
+                | _ -> ())
+              r.Engine.trace;
+            (match !bad with Some m -> Error m | None -> Ok ()))
+      in
+      { Explore.programs; check }
+    in
+    Some { Explore.name; config = spec.Lint.config; make }
+
+let scenarios () =
+  List.filter_map
+    (fun c -> Option.map (fun s -> (c, s)) (scenario_of c))
+    (all ())

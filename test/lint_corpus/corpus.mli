@@ -26,3 +26,16 @@ val all : unit -> case list
 val fires : ?budget:int -> case -> Lint.outcome * bool
 (** Lint the case; [true] iff an [Error] finding with the expected rule
     was produced. *)
+
+val scenario_of : case -> Hwf_adversary.Explore.scenario option
+(** The case re-posed for {e dynamic} detection: a scenario whose
+    [check] reports the planted bug from the run itself (caught
+    harness-access raises, trace statement counts vs the declared
+    constant, consensus agreement, step-limit non-termination), so the
+    randomized samplers ({!Hwf_adversary.Explore.sample}, E20) can
+    measure schedules-to-first-bug on it. [None] for
+    [mid_inv_set_priority], whose bug the engine rejects by raising —
+    there is no result to judge. *)
+
+val scenarios : unit -> (case * Hwf_adversary.Explore.scenario) list
+(** All sampleable cases, with their dynamic scenarios. *)

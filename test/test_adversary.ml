@@ -74,6 +74,91 @@ let test_random_runs_deterministic () =
   let o2 = Explore.random_runs ~runs:300 ~seed:5 b.scenario in
   Util.checki "same verdict run count" o1.runs o2.runs
 
+(* Record the naive sampler's schedule for run [i] of a campaign — the
+   pure function of [Explore.run_seed seed i] that [Explore.sample]
+   executes. *)
+let sampled_schedule (scenario : Explore.scenario) ~seed i =
+  let decisions = ref [] in
+  let policy =
+    Policy.of_factory "rec" (fun () ->
+        let choose =
+          Policy.prepare (Policy.random ~seed:(Explore.run_seed seed i))
+        in
+        fun v ->
+          match choose v with
+          | Some p as r ->
+            decisions := p :: !decisions;
+            r
+          | None -> None)
+  in
+  let instance = scenario.Explore.make () in
+  ignore (Engine.run ~config:scenario.Explore.config ~policy instance.Explore.programs);
+  List.rev !decisions
+
+let test_adjacent_campaign_seeds_disjoint () =
+  (* Regression: per-run seeds are a splitmix-style hash of (seed, i).
+     The old [seed + i] derivation made adjacent campaigns share all
+     but one per-run seed, so campaigns 41 and 42 sampled essentially
+     the same schedule set (39 of these 40 coincided). *)
+  let runs = 40 in
+  let b = fig3 ~quantum:1 ~pris:[ 1; 1; 1 ] in
+  let schedules seed = List.init runs (sampled_schedule b.scenario ~seed) in
+  let s41 = schedules 41 and s42 = schedules 42 in
+  let shared = List.filter (fun s -> List.mem s s42) s41 in
+  Util.checki "disjoint schedule sets" 0 (List.length shared);
+  let seeds s = List.init runs (Explore.run_seed s) in
+  let shared_seeds =
+    List.filter (fun x -> List.mem x (seeds 42)) (seeds 41)
+  in
+  Util.checki "disjoint per-run seeds" 0 (List.length shared_seeds)
+
+let test_sample_deterministic_across_jobs () =
+  (* The sample contract: run [i] is a pure function of (seed, i), so
+     the outcome — run count, counterexample message and schedule — is
+     byte-identical at any [jobs]. *)
+  let b = fig3 ~quantum:1 ~pris:[ 1; 1; 1 ] in
+  let go jobs =
+    Explore.sample ~runs:200 ~jobs ~strategy:Randsched.Naive ~seed:5 b.scenario
+  in
+  let o1 = go 1 and o2 = go 2 in
+  Util.checki "same run count" o1.Explore.runs o2.Explore.runs;
+  match (o1.counterexample, o2.counterexample) with
+  | Some c1, Some c2 ->
+    Alcotest.(check (list int)) "same schedule" c1.decisions c2.decisions;
+    Alcotest.(check string) "same message" c1.message c2.message
+  | None, None -> Alcotest.fail "expected a counterexample within 200 runs"
+  | _ -> Alcotest.fail "divergent outcomes across jobs"
+
+let test_strategies_find_fig3 () =
+  (* Every sampling strategy finds the fig3 Q=1 disagreement within a
+     modest budget, and the recorded schedule replays to the same
+     failure through the Schedule machinery. *)
+  let b = fig3 ~quantum:1 ~pris:[ 1; 1 ] in
+  List.iter
+    (fun strategy ->
+      let o = Explore.sample ~runs:2_000 ~strategy ~seed:1 b.scenario in
+      match o.Explore.counterexample with
+      | None -> Alcotest.fail (Fmt.str "%a found nothing in 2000 runs" Randsched.pp strategy)
+      | Some c ->
+        Util.checkb
+          (Fmt.str "%a counterexample replays" Randsched.pp strategy)
+          (Schedule.verdict b.scenario c.decisions <> Ok ()))
+    Randsched.[ Naive; Pct { depth = 5 }; Pos; Surw ]
+
+let test_randsched_of_name () =
+  (match Randsched.of_name ~depth:4 "pct" with
+  | Ok (Randsched.Pct { depth }) -> Util.checki "depth" 4 depth
+  | _ -> Alcotest.fail "pct");
+  (match Randsched.of_name "random" with
+  | Ok Randsched.Naive -> ()
+  | _ -> Alcotest.fail "random is naive");
+  (match Randsched.of_name "dfs" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted unknown strategy");
+  match Randsched.of_name ~depth:0 "pct" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted depth 0"
+
 let test_stagger_max_interleave_legal () =
   (* The staggering policy never produces ill-formed traces. *)
   let layout = Layout.uniform ~processors:2 ~per_processor:3 in
@@ -170,9 +255,52 @@ let test_schedule_save_load () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Schedule.save ~path [ 2; 0; 1 ];
-      match Schedule.load ~path with
+      (match Schedule.load ~path () with
       | Ok s -> Alcotest.(check (list int)) "load" [ 2; 0; 1 ] s
-      | Error m -> Alcotest.fail m)
+      | Error m -> Alcotest.fail m);
+      (match Schedule.load ~n:3 ~path () with
+      | Ok s -> Alcotest.(check (list int)) "load within n" [ 2; 0; 1 ] s
+      | Error m -> Alcotest.fail m);
+      (* The saved schedule's highest pid (3 on the wire) exceeds a
+         2-process scenario: load must reject it, naming the token.
+         Out-of-range pids used to parse into never-runnable decisions,
+         so a corrupt file replayed as if empty and vacuously passed. *)
+      match Schedule.load ~n:2 ~path () with
+      | Error m -> Util.checkb "names the token" (Util.contains m "\"3\"")
+      | Ok _ -> Alcotest.fail "accepted a pid beyond the scenario")
+
+let test_schedule_validation () =
+  (match Schedule.of_string "0 1" with
+  | Error m -> Util.checkb "names the token" (Util.contains m "\"0\"")
+  | Ok _ -> Alcotest.fail "accepted pid 0 (pids are 1-based on the wire)");
+  (match Schedule.of_string "1 x 2" with
+  | Error m -> Util.checkb "names the token" (Util.contains m "\"x\"")
+  | Ok _ -> Alcotest.fail "accepted garbage");
+  (match Schedule.of_string ~n:2 "1 3" with
+  | Error m -> Util.checkb "names the token" (Util.contains m "\"3\"")
+  | Ok _ -> Alcotest.fail "accepted out-of-range pid");
+  match Schedule.of_string ~n:2 "1 2 2" with
+  | Ok s -> Alcotest.(check (list int)) "in-range parses" [ 0; 1; 1 ] s
+  | Error m -> Alcotest.fail m
+
+let test_replay_skips_unrunnable_entries () =
+  (* The shrunk-schedule skip path: after shrinking, an entry may not be
+     runnable at its turn. [Schedule.replay]'s fallback skips it and the
+     run completes; the strict script (no fallback) stops the run
+     instead. At Q=8 the whole first invocation of p0 is
+     quantum-protected, so the demand for p1 at the second decision is
+     exactly such an entry. *)
+  let b = fig3 ~quantum:8 ~pris:[ 1; 1 ] in
+  let sched = [ 0; 1; 0; 0 ] in
+  let r, _ = Schedule.replay b.scenario sched in
+  Util.checkb "fallback replay completes" (Array.for_all Fun.id r.Engine.finished);
+  Util.checkb "and passes the check" (Schedule.verdict b.scenario sched = Ok ());
+  let instance = b.scenario.Explore.make () in
+  let r' =
+    Engine.run ~config:b.scenario.Explore.config ~policy:(Policy.scripted sched)
+      instance.Explore.programs
+  in
+  Util.checkb "strict script stops instead" (r'.Engine.stop = Engine.Policy_stopped)
 
 let test_shrink_minimizes () =
   let b = fig3 ~quantum:1 ~pris:[ 1; 1 ] in
@@ -248,6 +376,15 @@ let () =
           Alcotest.test_case "iter_schedules" `Quick test_iter_schedules_coverage;
           Alcotest.test_case "random deterministic" `Quick test_random_runs_deterministic;
         ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "adjacent seeds disjoint" `Quick
+            test_adjacent_campaign_seeds_disjoint;
+          Alcotest.test_case "deterministic across jobs" `Quick
+            test_sample_deterministic_across_jobs;
+          Alcotest.test_case "all strategies find fig3" `Quick test_strategies_find_fig3;
+          Alcotest.test_case "strategy names" `Quick test_randsched_of_name;
+        ] );
       ( "stagger",
         [
           Alcotest.test_case "legal traces" `Quick test_stagger_max_interleave_legal;
@@ -257,7 +394,10 @@ let () =
       ( "schedule",
         [
           Alcotest.test_case "roundtrip" `Quick test_schedule_roundtrip;
+          Alcotest.test_case "validation" `Quick test_schedule_validation;
           Alcotest.test_case "replay reproduces" `Quick test_schedule_replay_reproduces;
+          Alcotest.test_case "replay skips unrunnable" `Quick
+            test_replay_skips_unrunnable_entries;
           Alcotest.test_case "save/load" `Quick test_schedule_save_load;
         ] );
       ( "shrink",

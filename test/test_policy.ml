@@ -52,6 +52,22 @@ let test_random_seeded_reproducible () =
   Alcotest.(check (list int)) "same seed same schedule" o1 o2;
   Util.checkb "different seed differs somewhere" (o1 <> o3 || List.length o1 = 0)
 
+let test_policy_value_reusable_across_runs () =
+  (* Regression: policy constructors are factories — [Engine.run] calls
+     [Policy.prepare] per run, so a stateful policy {e value} reused
+     across runs behaves identically each time. Before the factory
+     refactor, [random] carried its RNG stream and [round_robin] its
+     rotation across runs, so the second run of the same value produced
+     a different schedule. *)
+  let go policy =
+    let _, order = run ~pris:[ 1; 1; 1 ] ~quantum:3 ~policy ~steps_per:4 in
+    order
+  in
+  let rand = Policy.random ~seed:7 in
+  Alcotest.(check (list int)) "random value reusable" (go rand) (go rand);
+  let rr = Policy.round_robin () in
+  Alcotest.(check (list int)) "round_robin value reusable" (go rr) (go rr)
+
 let test_scripted_strict_stops () =
   (* Without a fallback, a non-runnable script entry stops the run. *)
   let config = Util.uni_config ~quantum:4 [ 1; 2 ] in
@@ -107,6 +123,8 @@ let () =
           Alcotest.test_case "prefer chain" `Quick test_prefer_chain;
           Alcotest.test_case "round robin fairness" `Quick test_round_robin_fairness;
           Alcotest.test_case "random reproducible" `Quick test_random_seeded_reproducible;
+          Alcotest.test_case "policy value reusable" `Quick
+            test_policy_value_reusable_across_runs;
           Alcotest.test_case "scripted strict" `Quick test_scripted_strict_stops;
         ] );
       ( "engine edges",
