@@ -5,9 +5,10 @@
    is the repo-wide cost unit. This experiment pins that number down
    across the dimensions that stress the scheduler's per-decision work:
 
-     N  processes            2, 8, 32, 128
+     N  processes            2, 8, 32, 128, 1024
      P  processors           1, 4 (cells with P > N are skipped)
      observer                off / full Hwf_obs.Metrics collector
+                             (via the allocation-free Metrics.sink)
 
    Each cell runs the same two-band workload (processes round-robin
    over the processors, alternating between two priority levels, each
@@ -37,11 +38,11 @@ let stmts_per_sec c =
 let layout ~n ~processors =
   List.init n (fun i -> (i mod processors, 1 + (i / processors mod 2)))
 
-let measure ~observer ~n ~processors ~target =
+let workload ~n ~processors ~target =
   let config = Layout.to_config ~quantum:6 (layout ~n ~processors) in
   let inv_len = 8 in
   let invs = max 1 (target / n / inv_len) in
-  let bodies =
+  let bodies () =
     Array.init n (fun _ () ->
         for _ = 1 to invs do
           Eff.invocation "w" (fun () ->
@@ -50,18 +51,66 @@ let measure ~observer ~n ~processors ~target =
               done)
         done)
   in
-  let obs =
-    if observer then Some (Hwf_obs.Metrics.feed (Hwf_obs.Metrics.collector config))
-    else None
+  (config, bodies)
+
+let measure ~reps ~observer ~n ~processors ~target =
+  let config, bodies = workload ~n ~processors ~target in
+  (* Best-of-[reps] wall clock: the cell reports the engine's
+     throughput, not the container's scheduling noise, so take the
+     fastest trial (identical deterministic work each time). *)
+  let best = ref None in
+  for _ = 1 to reps do
+    (* The observer cells feed the full metrics collector through the
+       allocation-free sink path: the statement callback takes fields
+       instead of a Trace.Stmt record, so the cell measures collection
+       cost, not event-boxing cost. A fresh collector per trial — the
+       shadow state must start from the run's initial priorities. *)
+    let sink =
+      if observer then Some (Hwf_obs.Metrics.sink (Hwf_obs.Metrics.collector config))
+      else None
+    in
+    (* Collect before the timed region so a trial measures the engine,
+       not the previous trial's floating garbage. *)
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Engine.run ~step_limit:100_000_000 ?sink ~config ~policy:(Policy.random ~seed:7)
+        (bodies ())
+    in
+    let seconds = Unix.gettimeofday () -. t0 in
+    assert (Array.for_all Fun.id r.Engine.finished);
+    let statements = Trace.statements r.Engine.trace in
+    match !best with
+    | Some (_, s) when s <= seconds -> ()
+    | _ -> best := Some (statements, seconds)
+  done;
+  let statements, seconds = Option.get !best in
+  { n; processors; observer; statements; seconds }
+
+(* --self-check: run the same layout through the batched/cached engine
+   and through the self-checking reference (quantum-burst batching and
+   schedulable-list caching disabled, incremental structures audited)
+   and require byte-identical traces and identical results. This is the
+   differential gate behind the hot-path rewrite: any divergence is an
+   engine bug, not a tolerable perf artifact. *)
+let differential ~n ~processors ~target =
+  let config, bodies = workload ~n ~processors ~target in
+  let go ~self_check =
+    Engine.run ~step_limit:100_000_000 ~self_check ~config
+      ~policy:(Policy.random ~seed:7) (bodies ())
   in
-  let t0 = Unix.gettimeofday () in
-  let r =
-    Engine.run ~step_limit:100_000_000 ?observer:obs ~config
-      ~policy:(Policy.random ~seed:7) bodies
-  in
-  let seconds = Unix.gettimeofday () -. t0 in
-  assert (Array.for_all Fun.id r.Engine.finished);
-  { n; processors; observer; statements = Trace.statements r.Engine.trace; seconds }
+  let fast = go ~self_check:false in
+  let slow = go ~self_check:true in
+  if
+    Hwf_obs.Jsonl.trace_to_string fast.Engine.trace
+    <> Hwf_obs.Jsonl.trace_to_string slow.Engine.trace
+    || fast.Engine.stop <> slow.Engine.stop
+    || fast.Engine.finished <> slow.Engine.finished
+  then
+    failwith
+      (Printf.sprintf
+         "E19 --self-check: batched engine diverges from the reference at N=%d P=%d" n
+         processors)
 
 let json_of_cells ~target ~truncated cells =
   let b = Buffer.create 1024 in
@@ -96,19 +145,21 @@ let run ~quick =
             if processors > n then []
             else List.map (fun observer -> (n, processors, observer)) [ false; true ])
           [ 1; 4 ])
-      [ 2; 8; 32; 128 ]
+      [ 2; 8; 32; 128; 1024 ]
   in
+  let reps = if quick then 1 else 5 in
   let cells =
     List.filter_map
       (fun (n, processors, observer) ->
         if Hwf_resil.Resil.interrupted () then None
-        else Some (measure ~observer ~n ~processors ~target))
+        else Some (measure ~reps ~observer ~n ~processors ~target))
       params
   in
   let truncated = List.length cells < List.length params in
   Tbl.print
     ~title:
-      (Printf.sprintf "statements/sec, ~%d statements per cell (seed 7%s)" target
+      (Printf.sprintf "statements/sec, ~%d statements per cell, best of %d (seed 7%s)"
+         target reps
          (if quick then ", quick" else ""))
     ~header:[ "N"; "P"; "observer"; "statements"; "seconds"; "stmts/sec" ]
     (List.map
@@ -130,4 +181,34 @@ let run ~quick =
     "wrote %s%s; the N=128 rows are the scheduling-loop stress cells the\n\
      incremental-structure rewrite is measured by (EXPERIMENTS.md, E19)."
     path
-    (if truncated then " (TRUNCATED: interrupted mid-sweep)" else "")
+    (if truncated then " (TRUNCATED: interrupted mid-sweep)" else "");
+  if !Jobs.self_check && not truncated then begin
+    List.iter
+      (fun n ->
+        List.iter
+          (fun processors ->
+            if processors <= n && not (Hwf_resil.Resil.interrupted ()) then
+              differential ~n ~processors ~target)
+          [ 1; 4 ])
+      [ 2; 8; 32; 128; 1024 ];
+    Tbl.note
+      "self-check: batched engine byte-identical to the reference on every layout"
+  end;
+  (* Throughput regression gate (CI): the headline cell is the one the
+     tentpole targets — N=128, single processor, observer off. *)
+  match !Jobs.min_stmts_per_sec with
+  | Some floor when not truncated -> (
+    match
+      List.find_opt (fun c -> c.n = 128 && c.processors = 1 && not c.observer) cells
+    with
+    | Some c when stmts_per_sec c < floor ->
+      failwith
+        (Printf.sprintf
+           "E19: headline cell (N=128, P=1, observer off) ran at %.0f stmts/s, below \
+            the --min-stmts-per-sec floor %.0f"
+           (stmts_per_sec c) floor)
+    | Some c ->
+      Tbl.note "headline cell %.0f stmts/s clears the --min-stmts-per-sec floor %.0f"
+        (stmts_per_sec c) floor
+    | None -> ())
+  | _ -> ()

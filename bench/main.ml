@@ -13,7 +13,11 @@
                                               -- E16 cell journaling
      dune exec bench/main.exe -- par --jobs 4 --self-check [--grain G]
                   [--min-speedup S]           -- E17 with the determinism
-                                                 re-check + speedup gate *)
+                                                 re-check + speedup gate
+     dune exec bench/main.exe -- engine --self-check
+                  [--min-stmts-per-sec F]     -- E19 with the batched-vs-
+                                                 reference differential and
+                                                 the throughput floor *)
 
 open Hwf_sim
 open Hwf_workload
@@ -138,6 +142,7 @@ let () =
   let args, checkpoint = extract_opt "--checkpoint" args in
   let args, grain = extract_opt "--grain" args in
   let args, min_speedup = extract_opt "--min-speedup" args in
+  let args, min_stmts_per_sec = extract_opt "--min-stmts-per-sec" args in
   Jobs.n := (match jobs with Some j when j >= 1 -> j | _ -> 1);
   Jobs.checkpoint := checkpoint;
   Jobs.resume := List.mem "--resume" args;
@@ -147,6 +152,7 @@ let () =
     | _ -> None);
   Jobs.self_check := List.mem "--self-check" args;
   Jobs.min_speedup := Option.bind min_speedup float_of_string_opt;
+  Jobs.min_stmts_per_sec := Option.bind min_stmts_per_sec float_of_string_opt;
   let full = List.mem "--full" args in
   Tbl.csv_mode := List.mem "--csv" args;
   let quick = not full in

@@ -138,8 +138,10 @@ let verdict ~on_step_limit instance (result : Engine.result) =
   | [] -> (
     match (result.stop, on_step_limit) with
     | Engine.Step_limit, `Fail -> Error "step limit hit (possible non-termination)"
-    | (Engine.Step_limit | Engine.All_finished | Engine.Policy_stopped
-      | Engine.All_halted), _ ->
+    | Engine.Decision_limit, `Fail ->
+      Error "decision limit hit (statement-free spin; possible non-termination)"
+    | (Engine.Step_limit | Engine.Decision_limit | Engine.All_finished
+      | Engine.Policy_stopped | Engine.All_halted), _ ->
       instance.check result)
 
 (* ---- per-worker scratch arenas ----

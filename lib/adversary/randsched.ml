@@ -140,8 +140,13 @@ let pos ~seed =
    (the number of interleavings beginning with candidate i is
    total · r_i / Σ r_j). [profile] supplies the per-pid total-statement
    estimate (a pilot run); without it the walk degrades to uniform. *)
+(* Burst-safe: the singleton arm below returns the forced candidate
+   without touching the RNG, so the engine may skip forced decisions.
+   PCT and POS are not — PCT's change points are keyed to the decision
+   count (which must advance on forced picks) and POS redraws the
+   executed process's priority on every decision. *)
 let surw ~profile ~seed =
-  Policy.of_factory
+  Policy.of_factory ~burst_safe:true
     (Printf.sprintf "surw(%d)" seed)
     (fun () ->
       let st = Random.State.make [| seed; 0x5324 |] in

@@ -60,5 +60,6 @@ let verdict ?step_limit scenario schedule =
   | [] -> (
     match result.stop with
     | Engine.Step_limit -> Error "step limit hit"
+    | Engine.Decision_limit -> Error "decision limit hit (statement-free spin)"
     | Engine.All_finished | Engine.Policy_stopped | Engine.All_halted ->
       instance.check result)

@@ -53,6 +53,8 @@ let judge subject (inst : instance) (r : Engine.result) =
   | v :: _ -> Fail (Fmt.str "ill-formed trace: %a" Wellformed.pp_violation v)
   | [] ->
     if r.stop = Engine.Step_limit then Fail "step limit hit (possible non-termination)"
+    else if r.stop = Engine.Decision_limit then
+      Fail "decision limit hit (statement-free spin; possible non-termination)"
     else begin
       let procs = config.Config.procs in
       (* The model caveat of halting failures under Axiom 1: a parked

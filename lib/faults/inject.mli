@@ -13,6 +13,7 @@ open Hwf_sim
 val run :
   ?step_limit:int ->
   ?observer:(Trace.event -> unit) ->
+  ?self_check:bool ->
   plan:Plan.t ->
   config:Config.t ->
   policy:Policy.t ->
@@ -21,7 +22,10 @@ val run :
 (** One run of [programs] under [plan]. [observer] is passed through to
     [Engine.run] — this is also the hook the resilience layer uses to
     enforce wall-clock deadlines inside a run
-    ({!Hwf_resil.Resil.guard_observer}). *)
+    ({!Hwf_resil.Resil.guard_observer}). [self_check] (passed through
+    likewise) runs the engine's self-checking reference mode; the
+    burst/caching differential suite uses it to pin faulted runs to the
+    naive scheduler byte-for-byte. *)
 
 val run_recorded :
   ?step_limit:int ->

@@ -104,7 +104,7 @@ let build (store : Astore.t) (runs : Recorder.run list) =
       (* Invocations still open when the statement budget ran out are
          the replay signature of an unbounded loop. *)
       match r.outcome with
-      | Ok { Engine.stop = Engine.Step_limit; _ } ->
+      | Ok { Engine.stop = Engine.Step_limit | Engine.Decision_limit; _ } ->
         Hashtbl.iter
           (fun pid (p : path) ->
             Hashtbl.replace truncated (pid, p.p_label) ();

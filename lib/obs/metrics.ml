@@ -145,10 +145,57 @@ let close_inv c pid completed =
     a.guarantee <- 0
   end
 
-let feed c (e : Trace.event) =
+(* Statement path, shared by {!feed} and the allocation-free {!sink}:
+   takes the fields directly so the engine's hot path never has to
+   build a [Trace.Stmt] record just to have it destructured here. *)
+let feed_stmt c ~idx:_ ~pid ~op:_ ~inv:_ ~cost =
   let config = c.config in
   let n = Array.length c.accs in
   let processor pid = config.Config.procs.(pid).Proc.processor in
+  let pr = processor pid in
+  if c.last_on.(pr) >= 0 && c.last_on.(pr) <> pid then
+    c.c_switches <- c.c_switches + 1;
+  c.last_on.(pr) <- pid;
+  c.c_statements <- c.c_statements + 1;
+  c.c_time <- c.c_time + cost;
+  let a = c.accs.(pid) in
+  if a.pending then begin
+    a.pending <- false;
+    a.grants <- a.grants + 1;
+    a.guarantee <- config.Config.quantum
+  end;
+  if a.guarantee > 0 then a.protected_ <- a.protected_ + 1;
+  a.guarantee <- max 0 (a.guarantee - cost);
+  a.statements <- a.statements + 1;
+  a.time <- a.time + cost;
+  if a.open_ then begin
+    (match a.gap with
+    | `None -> ()
+    | `Same ->
+      a.inv_same <- a.inv_same + 1;
+      a.same <- a.same + 1
+    | `Higher ->
+      a.inv_higher <- a.inv_higher + 1;
+      a.higher <- a.higher + 1);
+    a.gap <- `None;
+    a.inv_statements <- a.inv_statements + 1;
+    a.inv_time <- a.inv_time + cost
+  end;
+  for q = 0 to n - 1 do
+    if q <> pid && processor q = processor pid then begin
+      let b = c.accs.(q) in
+      if b.open_ then b.pending <- true;
+      if b.open_ && b.inv_statements > 0 then begin
+        let cls = if a.priority > b.priority then `Higher else `Same in
+        match (b.gap, cls) with
+        | `Higher, _ -> ()
+        | _, `Higher -> b.gap <- `Higher
+        | _, `Same -> b.gap <- `Same
+      end
+    end
+  done
+
+let feed c (e : Trace.event) =
   match e with
   | Trace.Inv_begin { pid; inv; label } ->
     let a = c.accs.(pid) in
@@ -171,49 +218,9 @@ let feed c (e : Trace.event) =
     (* Re-activation starts enforcement fresh (engine rule): stale
        guarantees are dropped. *)
     if active then Array.iter (fun a -> a.guarantee <- 0) c.accs
-  | Trace.Stmt { pid; cost; _ } ->
-    let pr = processor pid in
-    if c.last_on.(pr) >= 0 && c.last_on.(pr) <> pid then
-      c.c_switches <- c.c_switches + 1;
-    c.last_on.(pr) <- pid;
-    c.c_statements <- c.c_statements + 1;
-    c.c_time <- c.c_time + cost;
-    let a = c.accs.(pid) in
-    if a.pending then begin
-      a.pending <- false;
-      a.grants <- a.grants + 1;
-      a.guarantee <- config.Config.quantum
-    end;
-    if a.guarantee > 0 then a.protected_ <- a.protected_ + 1;
-    a.guarantee <- max 0 (a.guarantee - cost);
-    a.statements <- a.statements + 1;
-    a.time <- a.time + cost;
-    if a.open_ then begin
-      (match a.gap with
-      | `None -> ()
-      | `Same ->
-        a.inv_same <- a.inv_same + 1;
-        a.same <- a.same + 1
-      | `Higher ->
-        a.inv_higher <- a.inv_higher + 1;
-        a.higher <- a.higher + 1);
-      a.gap <- `None;
-      a.inv_statements <- a.inv_statements + 1;
-      a.inv_time <- a.inv_time + cost
-    end;
-    for q = 0 to n - 1 do
-      if q <> pid && processor q = processor pid then begin
-        let b = c.accs.(q) in
-        if b.open_ then b.pending <- true;
-        if b.open_ && b.inv_statements > 0 then begin
-          let cls = if a.priority > b.priority then `Higher else `Same in
-          match (b.gap, cls) with
-          | `Higher, _ -> ()
-          | _, `Higher -> b.gap <- `Higher
-          | _, `Same -> b.gap <- `Same
-        end
-      end
-    done
+  | Trace.Stmt { idx; pid; op; inv; cost } -> feed_stmt c ~idx ~pid ~op ~inv ~cost
+
+let sink c = { Trace.on_stmt = feed_stmt c; on_event = feed c }
 
 let finish c =
   for pid = 0 to Array.length c.accs - 1 do

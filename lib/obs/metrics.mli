@@ -85,6 +85,13 @@ val feed : collector -> Trace.event -> unit
 (** Advance the collector by one event; pass this (partially applied) as
     the engine's [observer]. *)
 
+val sink : collector -> Trace.sink
+(** Allocation-free observer: a {!Hwf_sim.Trace.sink} whose statement
+    callback takes the event fields directly, so the engine's hot path
+    feeds this collector without materializing a [Trace.Stmt] record
+    per statement. Pass as {!Hwf_sim.Engine.run}'s [sink]; equivalent
+    to [feed] observed through [observer], just cheaper. *)
+
 val finish : collector -> t
 (** Close any still-open invocations (as incomplete) and freeze. *)
 

@@ -1,6 +1,11 @@
 open Effect.Deep
 
-type stop_reason = All_finished | Policy_stopped | Step_limit | All_halted
+type stop_reason =
+  | All_finished
+  | Policy_stopped
+  | Step_limit
+  | Decision_limit
+  | All_halted
 
 type result = {
   trace : Trace.t;
@@ -33,10 +38,12 @@ type cell = {
          which derives the old eager [pending] flag without the per-
          statement broadcast over all cells. *)
   mutable guarantee : int;  (* remaining protected statements (Axiom 2) *)
+  mutable grant_ver : int;  (* runnable-set version before this cell's
+                               current guarantee was granted *)
   mutable dirty : bool;  (* scratch policy view needs rebuilding *)
 }
 
-let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
+let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer ?sink
     ?trace_buf ?(self_check = false) ~(config : Config.t) ~(policy : Policy.t)
     programs =
   let n = Config.n config in
@@ -55,7 +62,11 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
       Trace.reset t;
       t
   in
-  (match observer with None -> () | Some f -> Trace.set_observer trace f);
+  (match (observer, sink) with
+  | Some _, Some _ -> invalid_arg "Engine.run: ?observer and ?sink are mutually exclusive"
+  | Some f, None -> Trace.set_observer trace f
+  | None, Some s -> Trace.set_sink trace s
+  | None, None -> ());
   let cost_of =
     match cost with
     | None -> fun _view _pid _op -> config.tmin
@@ -75,6 +86,7 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
           inv_steps = 0;
           stamp = 0;
           guarantee = 0;
+          grant_ver = 0;
           dirty = true;
         })
   in
@@ -90,12 +102,56 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
      - [guard_count.(P).(L)]: unfinished cells holding an active quantum
        guarantee, so Axiom 2 blocking is one comparison per candidate.
      - the live list ([link_next]/[link_prev]): unfinished cells in
-       ascending pid order, so a decision walks O(live) cells. *)
+       ascending pid order, so a decision walks O(live) cells.
+     - [live_count.(P).(L)] / [max_live.(P)] / [live_on.(P)] /
+       [live_total]: unfinished cells per (processor, level), the cached
+       per-processor maximum level, per-processor totals and the global
+       total. These answer the burst-batching question — "is this
+       process's selection forced?" — in O(1) (see the burst loop). *)
   let processors = config.processors in
   let proc_stmts = Array.make processors 0 in
+  (* Last executor per processor: the only cell (other than the one
+     executing) whose lazily-derived [pending] flag can flip at a
+     statement, so the dirty tracking below can be exact without a scan. *)
+  let last_exec = Array.make processors (-1) in
   let ready_count = Array.make_matrix processors (config.levels + 1) 0 in
   let max_ready = Array.make processors 0 in
   let guard_count = Array.make_matrix processors (config.levels + 1) 0 in
+  let live_count = Array.make_matrix processors (config.levels + 1) 0 in
+  let max_live = Array.make processors 0 in
+  let live_on = Array.make processors 0 in
+  let live_total = ref n in
+  (* Membership version of the runnable set: bumped by every event that
+     can change WHICH cells pass the runnable test (a [max_ready] move, a
+     quantum-guard 0<->+ transition, a priority change, an unlink, an
+     Axiom-2 gate flip). While the version is unchanged the decision loop
+     reuses the previously built schedulable list instead of rescanning
+     the live cells. [rs_built] is the version the cached list was built
+     at. *)
+  let rs_version = ref 0 in
+  let rs_built = ref (-1) in
+  Array.iter
+    (fun c ->
+      let p = c.info.Proc.processor and l = c.priority in
+      live_count.(p).(l) <- live_count.(p).(l) + 1;
+      if l > max_live.(p) then max_live.(p) <- l;
+      live_on.(p) <- live_on.(p) + 1)
+    cells;
+  let incr_live p l =
+    live_count.(p).(l) <- live_count.(p).(l) + 1;
+    if l > max_live.(p) then max_live.(p) <- l
+  in
+  let decr_live p l =
+    live_count.(p).(l) <- live_count.(p).(l) - 1;
+    if l = max_live.(p) && live_count.(p).(l) = 0 then begin
+      let m = ref 0 and l' = ref (l - 1) in
+      while !l' >= 1 && !m = 0 do
+        if live_count.(p).(!l') > 0 then m := !l';
+        decr l'
+      done;
+      max_live.(p) <- !m
+    end
+  in
   (* Intrusive doubly-linked list of unfinished cells, ascending pid;
      index [n] is the head sentinel. *)
   let link_next = Array.make (n + 1) (-1) in
@@ -108,6 +164,11 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
   let unlink pid =
     if linked.(pid) then begin
       linked.(pid) <- false;
+      incr rs_version;
+      let c = cells.(pid) in
+      live_on.(c.info.processor) <- live_on.(c.info.processor) - 1;
+      live_total := !live_total - 1;
+      decr_live c.info.processor c.priority;
       let p = link_prev.(pid) and nx = link_next.(pid) in
       link_next.(p) <- nx;
       if nx >= 0 then link_prev.(nx) <- p
@@ -115,7 +176,10 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
   in
   let incr_ready p l =
     ready_count.(p).(l) <- ready_count.(p).(l) + 1;
-    if l > max_ready.(p) then max_ready.(p) <- l
+    if l > max_ready.(p) then begin
+      max_ready.(p) <- l;
+      incr rs_version
+    end
   in
   let decr_ready p l =
     ready_count.(p).(l) <- ready_count.(p).(l) - 1;
@@ -127,8 +191,33 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
         if ready_count.(p).(!l') > 0 then m := !l';
         decr l'
       done;
-      max_ready.(p) <- !m
+      max_ready.(p) <- !m;
+      incr rs_version
     end
+  in
+  (* Dirty queue: every mutation that can stale a cell's policy view
+     enqueues the pid, so a decision that reuses the cached runnable set
+     refreshes exactly the touched views instead of walking all live
+     cells. [queued] dedups; [refresh]/[drain_dirty] below consume. *)
+  let queued = Array.make (max n 1) false in
+  let dirty_buf = Array.make (max n 1) 0 in
+  let dirty_len = ref 0 in
+  let mark_dirty c =
+    c.dirty <- true;
+    let pid = c.info.pid in
+    if not queued.(pid) then begin
+      queued.(pid) <- true;
+      dirty_buf.(!dirty_len) <- pid;
+      incr dirty_len
+    end
+  in
+  (* When [c] executes a statement on [proc], the only OTHER cell whose
+     [pending] derivation can flip is the previous last executor (its
+     stamp stops matching [proc_stmts]); mark it so its view refreshes. *)
+  let note_exec c proc =
+    let prev = last_exec.(proc) in
+    if prev >= 0 && prev <> c.info.pid then mark_dirty cells.(prev);
+    last_exec.(proc) <- c.info.pid
   in
   (* [state]/[priority]/[guarantee] are stale while a continuation chain
      runs (they describe the last suspension point); the counters mirror
@@ -138,7 +227,7 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
     | Ready _ -> decr_ready c.info.processor c.priority
     | Boundary _ | Finished -> ());
     c.state <- st;
-    c.dirty <- true;
+    mark_dirty c;
     match st with
     | Ready _ -> incr_ready c.info.processor c.priority
     | Boundary _ -> ()
@@ -148,10 +237,28 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
     if g <> c.guarantee then begin
       let was = c.guarantee > 0 and now = g > 0 in
       c.guarantee <- g;
-      c.dirty <- true;
+      mark_dirty c;
       if was <> now then begin
         let gc = guard_count.(c.info.processor) in
-        gc.(c.priority) <- (gc.(c.priority) + if now then 1 else -1)
+        gc.(c.priority) <- (gc.(c.priority) + if now then 1 else -1);
+        (* A guarantee's grant and drain are a matched pair: if nothing
+           else touched the version while [c] held it, the drain restores
+           membership exactly, so restore the version too and let the
+           decision loop keep its cached runnable set (the common case —
+           grants and drains happen inside the burst the holder is
+           running, between two full decisions that both see the
+           guarantee-free set). Any intervening bump forces the rescan
+           as usual; so does a rebuild DURING the hold ([rs_built] at the
+           held version) — restoring then could alias that held-set list
+           with a later hold's different membership at the same version
+           number. *)
+        if now then begin
+          c.grant_ver <- !rs_version;
+          incr rs_version
+        end
+        else if !rs_version = c.grant_ver + 1 && !rs_built <> !rs_version then
+          rs_version := c.grant_ver
+        else incr rs_version
       end
     end
   in
@@ -165,6 +272,38 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
     Runtime.enter_process ();
     continue k v
   in
+  let decisions = ref 0 in
+  (* Statement-free decisions (empty invocations, finishing wakes) are
+     invisible to [step_limit]; bound total decisions too so a
+     statement-free loop cannot spin the scheduler forever. A legitimate
+     run spends at most one decision per statement plus one per empty
+     invocation, so 4x the statement budget is generous headroom. The
+     two bounds stop with distinct reasons — a [Decision_limit] stop is
+     the signature of a statement-free spin. *)
+  let decision_limit =
+    if step_limit >= max_int / 4 then max_int else 4 * step_limit
+  in
+  let stop = ref All_finished in
+  let check_limits () =
+    if Trace.statements trace >= step_limit then begin
+      stop := Step_limit;
+      raise Exit
+    end;
+    if !decisions >= decision_limit then begin
+      stop := Decision_limit;
+      raise Exit
+    end
+  in
+  (* [chain > 0] arms the in-handler burst fast path: the scheduler has
+     established that the running cell's decisions are forced, so the
+     [Eff.Step] handler may execute statements inline and [continue] the
+     body directly instead of unwinding to the decision loop. The value
+     bounds the nested-[continue] depth (each inline statement leaves a
+     parent-stack frame until the burst unwinds); the scheduler's burst
+     loop re-arms it, so the cap only costs one unwind per [chain_max]
+     statements. *)
+  let chain = ref 0 in
+  let chain_max = 512 in
   (* Eager shadow of the lazy pending derivation, maintained under
      [self_check] exactly as the pre-incremental engine maintained its
      per-cell flag. *)
@@ -176,8 +315,8 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
     c.inv_steps <- 0;
     (* A fresh invocation starts unpreempted. *)
     c.stamp <- proc_stmts.(c.info.processor);
-    c.dirty <- true;
-    Trace.add trace (Trace.Inv_begin { pid = c.info.pid; inv = c.inv; label = c.inv_label });
+    mark_dirty c;
+    Trace.add_inv_begin trace ~pid:c.info.pid ~inv:c.inv ~label:c.inv_label;
     c.inv <- c.inv + 1
   in
   let end_inv c label =
@@ -185,10 +324,126 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
     c.mid_inv <- false;
     set_guarantee c 0;
     c.inv_steps <- 0;
-    c.dirty <- true;
+    mark_dirty c;
     if self_check then eager_pending.(c.info.pid) <- false;
-    Trace.add trace (Trace.Inv_end { pid = c.info.pid; inv = c.inv - 1; label })
+    Trace.add_inv_end trace ~pid:c.info.pid ~inv:(c.inv - 1) ~label
   in
+  (* The effect-handler functions are allocated once per run and
+     re-returned from [effc] through pre-built [Some] cells; the effect's
+     payload travels through a stash ref written by [effc] immediately
+     before the handler function runs (nothing can intervene: the
+     machinery calls it straight away, on this same fiber). This keeps
+     the per-statement handler path allocation-free — a fresh closure +
+     option per perform is most of what the old path allocated. *)
+  let stash_op = ref (Op.local "") in
+  let stash_str = ref "" in
+  let stash_level = ref 0 in
+  let step_fn (k : (unit, unit) continuation) =
+    Runtime.exit_process ();
+    let op = !stash_op in
+    let c = !cur in
+    (* Burst fast path: while this cell's next decision is still forced
+       — it is the last unfinished process, the sole live process at its
+       level with nothing live above it, or its quantum guarantee plus
+       Axiom 1 silence every other candidate (see the burst loop's
+       soundness argument) — execute the statement here and resume the
+       body without unwinding to the scheduler. Every mutation below is
+       the decision loop's per-statement path verbatim, so the
+       observable run is identical; the handlers that could invalidate
+       forcedness (Inv_end clearing the guarantee, Set_priority moving
+       levels, a finishing body unlinking) all update the counters this
+       test reads before the next statement can reach it. *)
+    if
+      !chain > 0
+      && (!live_total = 1
+         ||
+         let p = c.info.processor in
+         live_on.(p) = !live_total
+         && max_live.(p) = c.priority
+         && (live_count.(p).(c.priority) = 1
+            || (config.axiom2 && c.guarantee > 0)))
+    then begin
+      decr chain;
+      check_limits ();
+      incr decisions;
+      if not c.mid_inv then begin_inv c;
+      if is_pending c then set_guarantee c config.quantum;
+      let cost = config.tmin in
+      Trace.add_stmt trace ~pid:c.info.pid ~op ~inv:(c.inv - 1) ~cost;
+      c.own_steps <- c.own_steps + 1;
+      c.inv_steps <- c.inv_steps + 1;
+      mark_dirty c;
+      set_guarantee c (max 0 (c.guarantee - cost));
+      let proc = c.info.processor in
+      note_exec c proc;
+      proc_stmts.(proc) <- proc_stmts.(proc) + 1;
+      c.stamp <- proc_stmts.(proc);
+      resume k ()
+    end
+    else set_state c (Ready (k, op))
+  in
+  let step_some = Some step_fn in
+  let inv_begin_fn (k : (unit, unit) continuation) =
+    Runtime.exit_process ();
+    let label = !stash_str in
+    let c = !cur in
+    if c.mid_inv then
+      Fmt.invalid_arg "Eff.invocation: nested invocation %S in %s" label
+        c.info.name;
+    c.inv_label <- label;
+    set_state c (Boundary k)
+  in
+  let inv_begin_some = Some inv_begin_fn in
+  let inv_end_fn (k : (unit, unit) continuation) =
+    Runtime.exit_process ();
+    end_inv !cur !stash_str;
+    resume k ()
+  in
+  let inv_end_some = Some inv_end_fn in
+  let note_fn (k : (unit, unit) continuation) =
+    Runtime.exit_process ();
+    Trace.add trace (Trace.Note { pid = !cur.info.pid; text = !stash_str });
+    resume k ()
+  in
+  let note_some = Some note_fn in
+  let now_fn (k : (int, unit) continuation) =
+    Runtime.exit_process ();
+    Trace.count_now trace;
+    resume k (Trace.statements trace)
+  in
+  let now_some = Some now_fn in
+  let set_priority_fn (k : (unit, unit) continuation) =
+    Runtime.exit_process ();
+    let p = !stash_level in
+    let c = !cur in
+    if c.mid_inv then
+      Fmt.invalid_arg "Eff.set_priority: %s cannot change priority mid-invocation"
+        c.info.name;
+    if p < 1 || p > config.levels then
+      invalid_arg "Eff.set_priority: level out of range";
+    if p <> c.priority then begin
+      let proc = c.info.processor in
+      (match c.state with
+      | Ready _ -> decr_ready proc c.priority
+      | Boundary _ | Finished -> ());
+      if c.guarantee > 0 then begin
+        let gc = guard_count.(proc) in
+        gc.(c.priority) <- gc.(c.priority) - 1;
+        gc.(p) <- gc.(p) + 1
+      end;
+      decr_live proc c.priority;
+      c.priority <- p;
+      incr_live proc p;
+      mark_dirty c;
+      incr rs_version;
+      (match c.state with
+      | Ready _ -> incr_ready proc p
+      | Boundary _ | Finished -> ())
+    end;
+    Trace.add trace (Trace.Set_priority { pid = c.info.pid; priority = p });
+    resume k ()
+  in
+  let set_priority_some = Some set_priority_fn in
   let handler =
     {
       retc =
@@ -208,74 +463,34 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
           Runtime.exit_process ();
           raise e);
       effc =
-        (fun (type a) (e : a Effect.t) ->
+        (fun (type a) (e : a Effect.t) : ((a, unit) continuation -> unit) option ->
           match e with
           | Eff.Step op ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                Runtime.exit_process ();
-                let c = !cur in
-                set_state c (Ready (k, op)))
+            stash_op := op;
+            step_some
           | Eff.Inv_begin label ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                Runtime.exit_process ();
-                let c = !cur in
-                if c.mid_inv then
-                  Fmt.invalid_arg "Eff.invocation: nested invocation %S in %s" label
-                    c.info.name;
-                c.inv_label <- label;
-                set_state c (Boundary k))
+            stash_str := label;
+            inv_begin_some
           | Eff.Inv_end label ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                Runtime.exit_process ();
-                end_inv !cur label;
-                resume k ())
+            stash_str := label;
+            inv_end_some
           | Eff.Note text ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                Runtime.exit_process ();
-                Trace.add trace (Trace.Note { pid = !cur.info.pid; text });
-                resume k ())
-          | Eff.Now ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                Runtime.exit_process ();
-                Trace.count_now trace;
-                resume k (Trace.statements trace))
+            stash_str := text;
+            note_some
+          | Eff.Now -> now_some
           | Eff.Set_priority p ->
-            Some
-              (fun (k : (a, unit) continuation) ->
-                Runtime.exit_process ();
-                let c = !cur in
-                if c.mid_inv then
-                  Fmt.invalid_arg
-                    "Eff.set_priority: %s cannot change priority mid-invocation"
-                    c.info.name;
-                if p < 1 || p > config.levels then
-                  invalid_arg "Eff.set_priority: level out of range";
-                if p <> c.priority then begin
-                  let proc = c.info.processor in
-                  (match c.state with
-                  | Ready _ -> decr_ready proc c.priority
-                  | Boundary _ | Finished -> ());
-                  if c.guarantee > 0 then begin
-                    let gc = guard_count.(proc) in
-                    gc.(c.priority) <- gc.(c.priority) - 1;
-                    gc.(p) <- gc.(p) + 1
-                  end;
-                  c.priority <- p;
-                  c.dirty <- true;
-                  match c.state with
-                  | Ready _ -> incr_ready proc p
-                  | Boundary _ | Finished -> ()
-                end;
-                Trace.add trace (Trace.Set_priority { pid = c.info.pid; priority = p });
-                resume k ())
+            stash_level := p;
+            set_priority_some
           | _ -> None);
     }
   in
+  (* From here on the observer can fire (launch already appends events)
+     and process bodies can raise: guarantee the observer/sink is
+     detached on every exit path — normal return, body exception, policy
+     misbehaviour — so a [trace_buf] reused across runs can never leak a
+     stale observer into the next run, and a returned [result.trace]
+     never escapes with a live hook attached. *)
+  Fun.protect ~finally:(fun () -> Trace.clear_observer trace) @@ fun () ->
   (* Launch every process up to its first suspension point. *)
   Array.iteri
     (fun pid body ->
@@ -293,6 +508,7 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
       let now = f ~step:(Trace.statements trace) in
       if now <> !gate_active then begin
         gate_active := now;
+        incr rs_version;
         (* Guarantees granted while enforcement was off were never
            enforceable; carrying them into the restored regime could
            leave every process guarded by another (no runnable pick).
@@ -339,6 +555,14 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
       c.dirty <- false
     end
   in
+  let drain_dirty () =
+    for j = 0 to !dirty_len - 1 do
+      let pid = dirty_buf.(j) in
+      queued.(pid) <- false;
+      refresh pid
+    done;
+    dirty_len := 0
+  in
   let is_finished c = match c.state with Finished -> true | Ready _ | Boundary _ -> false in
   (* A halted (fault-injected) process is withheld from the policy's
      choices but still blocks per Axioms 1/2 — a crash is the scheduler
@@ -376,10 +600,26 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
     | Ready _ | Boundary _ ->
       c.priority >= naive_max_ready c.info.processor && not (naive_guarded c)
   in
+  let naive_live processor =
+    Array.fold_left
+      (fun acc c ->
+        if (not (is_finished c)) && c.info.processor = processor then acc + 1 else acc)
+      0 cells
+  in
+  let naive_max_live processor =
+    Array.fold_left
+      (fun acc c ->
+        if (not (is_finished c)) && c.info.processor = processor then max acc c.priority
+        else acc)
+      0 cells
+  in
   let check_invariants nr runnable_buf =
     for p = 0 to processors - 1 do
-      assert (max_ready.(p) = naive_max_ready p)
+      assert (max_ready.(p) = naive_max_ready p);
+      assert (live_on.(p) = naive_live p);
+      assert (max_live.(p) = naive_max_live p)
     done;
+    assert (!live_total = Array.fold_left (fun a c -> a + if is_finished c then 0 else 1) 0 cells);
     Array.iteri
       (fun i c ->
         assert (views.(i) = pview c);
@@ -392,56 +632,122 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
   in
   let runnable_buf = Array.make (max n 1) 0 in
   let sched_buf = Array.make (max n 1) 0 in
-  let sched_stamp = Array.make (max n 1) 0 in
-  let decisions = ref 0 in
-  (* Statement-free decisions (empty invocations, finishing wakes) are
-     invisible to [step_limit]; bound total decisions too so a
-     statement-free loop cannot spin the scheduler forever. A legitimate
-     run spends at most one decision per statement plus one per empty
-     invocation, so 4x the statement budget is generous headroom. *)
-  let decision_limit =
-    if step_limit >= max_int / 4 then max_int else 4 * step_limit
+  let sched_mark = Array.make (max n 1) 0 in
+  let build_id = ref 0 in
+  let cached_sched = ref [] in
+  (* Schedulable-list reuse is valid only when membership is judged by
+     the incremental counters alone: [halted] re-judges membership with a
+     per-decision predicate, and [self_check] must run the naive scan
+     every decision (it is also how the dirty tracking above is audited —
+     a missed [mark_dirty] fails the views assertion). *)
+  let caching = (not self_check) && Option.is_none halted in
+  (* Quantum-burst batching (the Axiom-2 fast path). A decision is
+     {e forced} when the schedulable set is the singleton [{c}]; under a
+     burst-safe policy ({!Policy.t}) consulting it is then observable
+     nowhere, so the engine may run such decisions in a tight loop
+     without rebuilding views, runnable sets, or calling the policy.
+     Forcedness is detected in O(1) from the live counters, in three
+     modes (the last two share the [live_on = live_total] premise: any
+     OTHER processor with a live process always contributes at least one
+     candidate — its top live level has either an unguarded process or
+     the guarantee holder itself):
+
+     - {e solo}: [c] is the only unfinished process anywhere. Trivially
+       the only candidate, through any number of invocations.
+     - {e singleton level}: [c] is Ready and the only live process at
+       its level on its processor, with nothing live above
+       ([live_count = 1] and [max_live = c.priority]). [c] Ready puts
+       [max_ready] at [c]'s level, so Axiom 1 silences everything
+       below; nothing shares the level, so no quantum guarantee is
+       needed. Holds across invocation boundaries of [c] itself (the
+       in-handler fast path), but not through a Boundary wake in the
+       burst loop below — while [c] thinks, lower levels are runnable.
+     - {e guarantee}: Axiom 2 is enforced and [c] is Ready mid-quantum
+       ([guarantee > 0], so every equal-priority process on its
+       processor is guarded), with no live process on its processor
+       above [c]'s level ([max_live = c.priority]; Axiom 1 silences
+       everyone below).
+
+     Nothing else can change engine state while the burst runs — all
+     other processes are suspended — so the conditions only need
+     re-checking against [c]'s own transitions, once per statement. The
+     hooks that could observe or perturb individual decisions disable
+     batching wholesale: [self_check] (the eager shadow must track every
+     decision), [halted] (consulted per decision), [axiom2_active] (can
+     revoke the guarantee mid-burst), [cost] (sees per-decision views),
+     and non-burst-safe policies (would miss decisions). Each burst
+     iteration replays the per-decision path below exactly — wake, lazy
+     [begin_inv], guarantee grant/drain, limits, one [decisions] tick —
+     so traces, counters and stop reasons are byte-identical to the
+     unbatched engine (the differential suite in test/test_burst.ml
+     holds it to that). *)
+  let batching =
+    (not self_check)
+    && Option.is_none halted
+    && Option.is_none axiom2_active
+    && Option.is_none cost
+    && policy.Policy.burst_safe
   in
-  let stop = ref All_finished in
+  let forced c =
+    linked.(c.info.pid)
+    && (!live_total = 1
+       ||
+       let p = c.info.processor in
+       live_on.(p) = !live_total
+       && max_live.(p) = c.priority
+       && (match c.state with Ready _ -> true | Boundary _ | Finished -> false)
+       && (live_count.(p).(c.priority) = 1
+          || (config.axiom2 && c.guarantee > 0)))
+  in
   (try
      while link_next.(n) >= 0 do
-       if Trace.statements trace >= step_limit || !decisions >= decision_limit
-       then begin
-         stop := Step_limit;
-         raise Exit
-       end;
+       check_limits ();
        incr decisions;
        sync_gate ();
-       (* One pass over live cells in ascending pid order: refresh the
-          scratch views and collect the runnable/schedulable sets. *)
-       let nr = ref 0 and ns = ref 0 in
-       let i = ref link_next.(n) in
-       while !i >= 0 do
-         let c = cells.(!i) in
-         refresh !i;
-         if c.priority >= max_ready.(c.info.processor) && not (guarded_by_other c)
-         then begin
-           runnable_buf.(!nr) <- !i;
-           incr nr;
-           if not (is_halted_view views.(!i)) then begin
-             sched_buf.(!ns) <- !i;
-             incr ns;
-             sched_stamp.(!i) <- !decisions
-           end
-         end;
-         i := link_next.(!i)
-       done;
-       if self_check then check_invariants !nr runnable_buf;
-       assert (!nr > 0);
-       if !ns = 0 then begin
-         stop := All_halted;
-         raise Exit
-       end;
        let schedulable =
-         let rec build j acc =
-           if j < 0 then acc else build (j - 1) (sched_buf.(j) :: acc)
-         in
-         build (!ns - 1) []
+         if caching && !rs_built = !rs_version then begin
+           (* Membership unchanged since the last scan: reuse the built
+              list, refreshing only the views the dirty queue names. *)
+           drain_dirty ();
+           !cached_sched
+         end
+         else begin
+           drain_dirty ();
+           incr build_id;
+           (* One pass over live cells in ascending pid order: refresh
+              the scratch views and collect the runnable/schedulable
+              sets. *)
+           let nr = ref 0 and ns = ref 0 in
+           let i = ref link_next.(n) in
+           while !i >= 0 do
+             let c = cells.(!i) in
+             refresh !i;
+             if c.priority >= max_ready.(c.info.processor) && not (guarded_by_other c)
+             then begin
+               runnable_buf.(!nr) <- !i;
+               incr nr;
+               if not (is_halted_view views.(!i)) then begin
+                 sched_buf.(!ns) <- !i;
+                 incr ns;
+                 sched_mark.(!i) <- !build_id
+               end
+             end;
+             i := link_next.(!i)
+           done;
+           if self_check then check_invariants !nr runnable_buf;
+           assert (!nr > 0);
+           if !ns = 0 then begin
+             stop := All_halted;
+             raise Exit
+           end;
+           let rec build j acc =
+             if j < 0 then acc else build (j - 1) (sched_buf.(j) :: acc)
+           in
+           let l = build (!ns - 1) [] in
+           cached_sched := l;
+           rs_built := !rs_version;
+           l
+         end
        in
        let view : Policy.view =
          { step = Trace.statements trace; runnable = schedulable; procs = views }
@@ -451,7 +757,7 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
          stop := Policy_stopped;
          raise Exit
        | Some pid ->
-         if pid < 0 || pid >= n || sched_stamp.(pid) <> !decisions then
+         if pid < 0 || pid >= n || sched_mark.(pid) <> !build_id then
            Fmt.invalid_arg "Engine.run: policy %s chose non-runnable %a" policy.name
              Proc.pp_pid pid;
          let c = cells.(pid) in
@@ -471,16 +777,16 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
              set_guarantee c config.quantum;
            if self_check then eager_pending.(pid) <- false;
            let cost = cost_of view pid op in
-           Trace.add trace
-             (Trace.Stmt { idx = Trace.statements trace; pid; op; inv = c.inv - 1; cost });
+           Trace.add_stmt trace ~pid ~op ~inv:(c.inv - 1) ~cost;
            c.own_steps <- c.own_steps + 1;
            c.inv_steps <- c.inv_steps + 1;
-           c.dirty <- true;
+           mark_dirty c;
            set_guarantee c (max 0 (c.guarantee - cost));
            (* Everyone else mid-invocation on this processor is now
               preempted-before-its-next-statement: advancing the
               processor counter past their stamps says exactly that. *)
            let proc = c.info.processor in
+           note_exec c proc;
            proc_stmts.(proc) <- proc_stmts.(proc) + 1;
            c.stamp <- proc_stmts.(proc);
            if self_check then
@@ -490,12 +796,48 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer
                    eager_pending.(q.info.pid) <- true)
                cells;
            cur := c;
-           resume k ()
+           if batching then chain := chain_max;
+           resume k ();
+           chain := 0
          | Boundary _ | Finished ->
            (* The wake consumed an empty invocation, or the body finished
               without executing a statement: the decision was a no-op. *)
            ());
-         refresh pid)
+         (* Burst: as long as [c]'s selection stays forced, keep
+            executing its decisions without re-entering the machinery
+            above. With [batching] true the hooks are all absent, so
+            [cost_of] is the constant [tmin] and [sync_gate] is a no-op
+            — each iteration below is the per-decision path verbatim. *)
+         if batching then begin
+           while forced c do
+             check_limits ();
+             incr decisions;
+             (match c.state with
+             | Boundary k ->
+               cur := c;
+               resume k ()
+             | Ready _ | Finished -> ());
+             match c.state with
+             | Ready (k, op) ->
+               if not c.mid_inv then begin_inv c;
+               if is_pending c then set_guarantee c config.quantum;
+               let cost = config.tmin in
+               Trace.add_stmt trace ~pid ~op ~inv:(c.inv - 1) ~cost;
+               c.own_steps <- c.own_steps + 1;
+               c.inv_steps <- c.inv_steps + 1;
+               mark_dirty c;
+               set_guarantee c (max 0 (c.guarantee - cost));
+               let proc = c.info.processor in
+               note_exec c proc;
+               proc_stmts.(proc) <- proc_stmts.(proc) + 1;
+               c.stamp <- proc_stmts.(proc);
+               cur := c;
+               chain := chain_max;
+               resume k ();
+               chain := 0
+             | Boundary _ | Finished -> ()
+           done
+         end)
      done
    with Exit -> ());
   {

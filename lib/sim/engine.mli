@@ -36,7 +36,14 @@
 type stop_reason =
   | All_finished
   | Policy_stopped  (** The policy returned [None]. *)
-  | Step_limit  (** The statement budget was exhausted. *)
+  | Step_limit  (** The statement budget ([step_limit]) was exhausted. *)
+  | Decision_limit
+      (** The scheduling-decision budget (4x [step_limit]) was exhausted
+          before the statement budget — the signature of a process
+          spinning on statement-free (empty) invocations, which
+          [step_limit] alone cannot see. Reported distinctly so
+          downstream tooling can tell a long computation ([Step_limit])
+          from a statement-free livelock. *)
   | All_halted
       (** Every legally runnable process was withheld by the [halted]
           fault hook: only crashed processes (and processes they block)
@@ -58,6 +65,7 @@ val run :
   ?halted:(Policy.pview -> bool) ->
   ?axiom2_active:(step:int -> bool) ->
   ?observer:(Trace.event -> unit) ->
+  ?sink:Trace.sink ->
   ?trace_buf:Trace.t ->
   ?self_check:bool ->
   config:Config.t ->
@@ -66,10 +74,11 @@ val run :
   result
 (** [run ~config ~policy programs] executes [programs.(pid)] for each
     process of [config] under [policy]. [step_limit] (default 1_000_000)
-    bounds total statements; the engine additionally bounds scheduling
-    decisions at four times the statement budget, so a process looping
-    on statement-free (empty) invocations — which [step_limit] alone
-    cannot see — still terminates the run with [Step_limit].
+    bounds total statements ([Step_limit]); the engine additionally
+    bounds scheduling decisions at four times the statement budget, so a
+    process looping on statement-free (empty) invocations — which
+    [step_limit] alone cannot see — still terminates the run, with
+    [Decision_limit].
 
     The scheduling hot path is incremental: ready-level counts, quantum
     guards, preemption stamps and a live-process list make each decision
@@ -79,6 +88,29 @@ val run :
     buffer: its contents are valid only for the duration of that call
     and must not be retained (the [pview] records themselves are
     immutable and safe to keep).
+
+    On top of that, {e forced} decisions are batched into quantum
+    bursts: when the schedulable set is provably the singleton [{p}] —
+    [p] is the last unfinished process ({e solo}), or the only live
+    process at the top live level of its processor ({e singleton
+    level}), or holds an active Axiom-2 quantum guarantee that together
+    with Axiom 1 silences every other candidate ({e guarantee}) — and
+    the policy declares the forced-choice contract
+    ([Policy.burst_safe]), the engine executes [p]'s next decisions in
+    a tight loop without rebuilding views or consulting the policy,
+    falling back to the per-decision path the moment forcedness can
+    lapse (guarantee drained, invocation ended, priority changed,
+    limits near). Unforced decisions are cheap too: the schedulable
+    list is cached and reused across decisions, invalidated by a
+    version counter that every membership-changing transition bumps
+    (and a matched guarantee grant/drain restores), with a dirty queue
+    refreshing only the policy views that a statement could have
+    changed. Batching is disabled wholesale when any per-decision hook
+    is supplied ([cost], [halted], [axiom2_active]) or under
+    [self_check], and list caching under [halted] or [self_check];
+    both are pure optimizations — traces, counters and stop reasons
+    are byte-identical either way (see docs/ARCHITECTURE.md and the
+    differential suite in test/test_burst.ml).
 
     [cost] chooses each statement's duration in time units, clamped to
     the configuration's [tmin..tmax] (default: every statement costs
@@ -112,9 +144,16 @@ val run :
 
     [observer] is installed on the run's trace ({!Trace.set_observer})
     before any process is launched, so it sees every event in append
-    order. It is the engine-level entry point of the observability
-    layer ({!Hwf_obs.Metrics} collectors); when absent, the only cost
-    is one [match] per trace event.
+    order, and removed again on {e every} exit path — normal return,
+    process-body exception, policy misbehaviour — so a reused
+    [trace_buf] can never leak one run's observer into the next. It is
+    the engine-level entry point of the observability layer
+    ({!Hwf_obs.Metrics} collectors); when absent there is no per-event
+    cost (the trace's sinks are no-ops). [sink] is the allocation-free
+    variant ({!Trace.set_sink}): statement events arrive as plain
+    arguments instead of allocated {!Trace.event} records — prefer it on
+    hot paths ({!Hwf_obs.Metrics.sink} adapts a collector). At most one
+    of [observer]/[sink] may be supplied.
 
     [trace_buf] makes the run record into a caller-supplied trace
     ({!Trace.reset} is applied first) instead of allocating a fresh one
@@ -134,6 +173,6 @@ val run :
     tests; it restores the old quadratic cost.
 
     @raise Invalid_argument if the program count differs from the process
-    count.
+    count, or if both [observer] and [sink] are supplied.
     @raise Stdlib.Exit never; exceptions raised by process bodies
     propagate. *)

@@ -15,18 +15,24 @@ type pview = {
 
 type view = { step : int; runnable : Proc.pid list; procs : pview array }
 
-type t = { name : string; make : unit -> view -> Proc.pid option }
+type t = { name : string; burst_safe : bool; make : unit -> view -> Proc.pid option }
 
-let of_fun name choose = { name; make = (fun () -> choose) }
-let of_factory name make = { name; make }
+let of_fun ?(burst_safe = false) name choose =
+  { name; burst_safe; make = (fun () -> choose) }
+
+let of_factory ?(burst_safe = false) name make = { name; burst_safe; make }
 let prepare t = t.make ()
 
 let round_robin () =
-  of_factory "round-robin" (fun () ->
+  of_factory ~burst_safe:true "round-robin" (fun () ->
       let last = ref (-1) in
       fun v ->
         match v.runnable with
         | [] -> None
+        (* A singleton choice is forced: return it without advancing the
+           cursor, so skipping the consultation entirely (the engine's
+           burst batching) is observationally identical. *)
+        | [ p ] -> Some p
         | l ->
           let pick =
             match List.find_opt (fun p -> p > !last) l with
@@ -37,7 +43,7 @@ let round_robin () =
           Some pick)
 
 let random ~seed =
-  of_factory
+  of_factory ~burst_safe:true
     (Printf.sprintf "random(%d)" seed)
     (fun () ->
       let st = Random.State.make [| seed |] in
@@ -46,22 +52,36 @@ let random ~seed =
          keeping the RNG stream identical (one [int] draw per decision,
          same bound). *)
       let buf = ref (Array.make 8 0) in
+      (* The engine hands back the physically-same runnable list while
+         membership is unchanged (its schedulable-list cache), so memo
+         the list->buffer conversion on identity. The lists are rebuilt
+         fresh whenever membership changes, so a stale hit is
+         impossible; the RNG stream is untouched either way. *)
+      let memo_list = ref [] and memo_n = ref 0 in
       fun v ->
         match v.runnable with
         | [] -> None
+        (* Forced choice: no RNG draw, so the stream is the same whether
+           or not the engine consulted us (burst batching skips the
+           call; a draw here would desynchronize later decisions). *)
+        | [ p ] -> Some p
         | l ->
-          let n = ref 0 in
-          List.iter
-            (fun pid ->
-              if !n >= Array.length !buf then begin
-                let bigger = Array.make (2 * Array.length !buf) 0 in
-                Array.blit !buf 0 bigger 0 !n;
-                buf := bigger
-              end;
-              !buf.(!n) <- pid;
-              incr n)
-            l;
-          Some !buf.(Random.State.int st !n))
+          if l != !memo_list then begin
+            let n = ref 0 in
+            List.iter
+              (fun pid ->
+                if !n >= Array.length !buf then begin
+                  let bigger = Array.make (2 * Array.length !buf) 0 in
+                  Array.blit !buf 0 bigger 0 !n;
+                  buf := bigger
+                end;
+                !buf.(!n) <- pid;
+                incr n)
+              l;
+            memo_list := l;
+            memo_n := !n
+          end;
+          Some !buf.(Random.State.int st !memo_n))
 
 let scripted ?fallback script =
   of_factory "scripted" (fun () ->
@@ -87,14 +107,15 @@ let scripted ?fallback script =
         next ())
 
 let first =
-  of_fun "first" (fun v -> match v.runnable with [] -> None | pid :: _ -> Some pid)
+  of_fun ~burst_safe:true "first" (fun v ->
+      match v.runnable with [] -> None | pid :: _ -> Some pid)
 
 let highest_pid =
-  of_fun "highest-pid" (fun v ->
+  of_fun ~burst_safe:true "highest-pid" (fun v ->
       match List.rev v.runnable with [] -> None | pid :: _ -> Some pid)
 
 let by_priority =
-  of_fun "by-priority" (fun v ->
+  of_fun ~burst_safe:true "by-priority" (fun v ->
       match v.runnable with
       | [] -> None
       | first :: rest ->
@@ -105,7 +126,9 @@ let by_priority =
              first rest))
 
 let prefer pids ~fallback =
-  of_factory "prefer" (fun () ->
+  (* Stateless given a burst-safe fallback: on a singleton set both the
+     pids scan and the fallback return the one candidate unchanged. *)
+  of_factory ~burst_safe:fallback.burst_safe "prefer" (fun () ->
       let fb = fallback.make () in
       fun v ->
         match List.find_opt (fun p -> List.mem p v.runnable) pids with

@@ -41,23 +41,35 @@ type view = {
           immutable and safe to keep. *)
 }
 
-type t = { name : string; make : unit -> view -> Proc.pid option }
+type t = { name : string; burst_safe : bool; make : unit -> view -> Proc.pid option }
 (** A policy is a {e factory}: [make ()] instantiates the per-run
     decision function, with any policy state ([round_robin]'s cursor,
     [random]'s RNG, [scripted]'s remaining script) created fresh inside
     that call. {!Engine.run} calls [make] exactly once per run, so one
     [t] value may be reused across any number of runs — each run sees
-    virgin state and identical seeds replay identical schedules. *)
+    virgin state and identical seeds replay identical schedules.
 
-val of_fun : string -> (view -> Proc.pid option) -> t
+    [burst_safe] declares the {e forced-choice contract}: whenever the
+    runnable set is a singleton [[p]], the decision function returns
+    [Some p] {e and} the call has no observable effect — no cursor
+    advance, no RNG draw, no script consumption, no recording. The
+    engine's quantum-burst batching ({!Engine.run}) relies on this to
+    skip policy consultation entirely on forced decisions; a policy that
+    misdeclares it will see a different decision stream under batching.
+    [false] is always sound (it only disables the optimization), and is
+    the default for {!of_fun}/{!of_factory}. *)
+
+val of_fun : ?burst_safe:bool -> string -> (view -> Proc.pid option) -> t
 (** Wrap a {e stateless} decision function: every run shares [choose].
     If the closure carries mutable state, use {!of_factory} instead —
-    [of_fun] would leak that state across runs. *)
+    [of_fun] would leak that state across runs. [burst_safe] (default
+    [false]) asserts the forced-choice contract documented on {!t}. *)
 
-val of_factory : string -> (unit -> view -> Proc.pid option) -> t
+val of_factory : ?burst_safe:bool -> string -> (unit -> view -> Proc.pid option) -> t
 (** Wrap a per-run decision-function factory. [make] is invoked once at
     the start of each {!Engine.run}; allocate all mutable policy state
-    inside it. *)
+    inside it. [burst_safe] (default [false]) asserts the forced-choice
+    contract documented on {!t}. *)
 
 val prepare : t -> view -> Proc.pid option
 (** [prepare t] instantiates one run's decision function ([t.make ()]).
@@ -69,12 +81,14 @@ val round_robin : unit -> t
 (** Cycles fairly through runnable processes in pid order; wakes thinking
     processes eagerly. Every process makes progress — a "fair" scheduler
     in the Sec. 5 sense. The cursor is per-run state: reusing the value
-    across runs is safe. *)
+    across runs is safe. Burst-safe: a forced (singleton) choice does
+    not advance the cursor. *)
 
 val random : seed:int -> t
 (** Picks uniformly among runnable processes. Deterministic per seed,
     with a fresh RNG per run: the same value replays the same schedule
-    on every run. *)
+    on every run. Burst-safe: a forced (singleton) choice draws nothing
+    from the RNG — only genuine decisions consume the stream. *)
 
 val scripted : ?fallback:t -> Proc.pid list -> t
 (** Follows the given pid sequence, skipping entries that are not

@@ -4,7 +4,15 @@
     history: the sequence of atomic statement executions, interleaved
     with invocation boundaries and free-form notes. Traces are the input
     to the well-formedness checker ({!Wellformed}), the interleaving
-    renderer ({!Render}) and the linearizability checker. *)
+    renderer ({!Render}) and the linearizability checker.
+
+    {b Representation.} Events are stored packed: one flat int array of
+    variable-stride records (tag + pid in a header word, int payloads),
+    with ops and labels interned into side tables. The {!event} records
+    handed out by {!iter}/{!fold}/{!events} are decoded lazily, on the
+    walk; appending a statement ({!add_stmt}) is a handful of int
+    stores with no allocation. The encoding is an internal detail — the
+    event-level API is unchanged and decode order is append order. *)
 
 type event =
   | Stmt of { idx : int; pid : Proc.pid; op : Op.t; inv : int; cost : int }
@@ -25,31 +33,65 @@ type event =
           self-describing: {!Wellformed.check} suspends its quantum
           checks while the gate is off. Absent in unfaulted runs. *)
 
+type stmt_sink = idx:int -> pid:Proc.pid -> op:Op.t -> inv:int -> cost:int -> unit
+(** Allocation-free observer entry point for statement events: the
+    fields arrive as arguments (all immediates plus the interned op
+    pointer), so observing a statement allocates nothing. *)
+
+type sink = {
+  on_stmt : stmt_sink;  (** Every statement, in append order. *)
+  on_event : event -> unit;  (** Every {e non-statement} event. *)
+}
+(** A split observer: the hot event class (statements) bypasses event
+    allocation entirely; the rare classes arrive as ordinary events.
+    See {!Hwf_obs.Metrics.sink} for the canonical implementation. *)
+
 type t
 
 val create : Config.t -> t
 
 val reset : t -> unit
 (** Return the trace to its just-created state — no events, zero
-    counters, no observer — while keeping the underlying event buffer,
-    so one trace can serve as a reusable per-worker scratch across many
-    engine runs (see {!Engine.run}'s [trace_buf]). The configuration is
-    retained: a reset trace is only valid for runs of the same
-    configuration. *)
+    counters, no observer — while keeping the underlying packed buffer
+    and intern tables, so one trace can serve as a reusable per-worker
+    scratch across many engine runs (see {!Engine.run}'s [trace_buf]).
+    The configuration is retained: a reset trace is only valid for runs
+    of the same configuration. *)
 
 val config : t -> Config.t
 
 val set_observer : t -> (event -> unit) -> unit
 (** Install a sink that sees every event as it is appended (after the
     trace's own bookkeeping). At most one observer is active; installing
-    replaces the previous one. The hook is nullable-by-default: when no
-    observer is installed, {!add} pays a single [match] — this is the
-    zero-overhead guard the observability layer ({!Hwf_obs.Metrics})
-    relies on. *)
+    replaces the previous one (including one installed via {!set_sink}).
+    A generic observer receives statement events as allocated {!event}
+    records; observers on the hot path should prefer {!set_sink}. When
+    nothing is installed, the append path runs against no-op sinks — no
+    option match, no event allocation for statements. *)
+
+val set_sink : t -> sink -> unit
+(** Like {!set_observer}, but split per event class so statements are
+    observed allocation-free (see {!sink}). Replaces any installed
+    observer. *)
 
 val clear_observer : t -> unit
+(** Remove the installed observer or sink (a no-op when none is
+    installed). {!Engine.run} installs and removes its observer
+    symmetrically on every exit path, so a trace never escapes a run
+    with a stale observer attached. *)
 
 val add : t -> event -> unit
+
+val add_stmt : t -> pid:Proc.pid -> op:Op.t -> inv:int -> cost:int -> unit
+(** Append a statement event whose [idx] is the running statement count
+    — the engine's hot path. Equivalent to
+    [add t (Stmt { idx = statements t; pid; op; inv; cost })] but
+    allocation-free (no event record is built unless a generic
+    {!set_observer} observer is installed). *)
+
+val add_inv_begin : t -> pid:Proc.pid -> inv:int -> label:string -> unit
+
+val add_inv_end : t -> pid:Proc.pid -> inv:int -> label:string -> unit
 
 val events : t -> event list
 (** A fresh list copy of the whole history — O(length) allocation. For

@@ -10,9 +10,11 @@
 # are crash-tolerant by design: a partial *final* line (a write cut by
 # SIGKILL) is allowed for hwf-ckpt/1 only, mirroring the loader.
 #
-# hwf-bench-sched/1 (docs/SAMPLING.md, BENCH_sched.json) is the one
-# whole-file JSON schema: a single pretty-printed object whose "cells"
-# rows each carry case/strategy/runs/found.
+# hwf-bench-sched/1 (docs/SAMPLING.md, BENCH_sched.json) and
+# hwf-bench-engine/1 (EXPERIMENTS.md E19, BENCH_engine.json) are the
+# whole-file JSON schemas: a single pretty-printed object whose "cells"
+# rows each carry case/strategy/runs/found (sched) or
+# n/processors/observer/statements/seconds/stmts_per_sec (engine).
 set -u
 
 if [ "$#" -lt 1 ]; then
@@ -39,19 +41,25 @@ except json.JSONDecodeError:
         doc = json.loads("\n".join(lines))
     except json.JSONDecodeError as e:
         sys.exit(f"{path}: neither JSONL nor whole-file JSON: {e}")
-    if not isinstance(doc, dict) or doc.get("schema") != "hwf-bench-sched/1":
+    cell_fields = {
+        "hwf-bench-sched/1": ("case", "strategy", "runs", "found"),
+        "hwf-bench-engine/1": ("n", "processors", "observer", "statements",
+                               "seconds", "stmts_per_sec"),
+    }
+    schema = doc.get("schema") if isinstance(doc, dict) else None
+    if schema not in cell_fields:
         sys.exit(f"{path}: whole-file JSON has no known schema "
-                 f"(got {doc.get('schema') if isinstance(doc, dict) else type(doc).__name__!r})")
+                 f"(got {schema if isinstance(doc, dict) else type(doc).__name__!r})")
     cells = doc.get("cells")
     if not isinstance(cells, list) or not cells:
-        sys.exit(f"{path}: hwf-bench-sched/1 lacks a non-empty \"cells\" array")
+        sys.exit(f"{path}: {schema} lacks a non-empty \"cells\" array")
     for j, cell in enumerate(cells):
         if not isinstance(cell, dict):
             sys.exit(f"{path}: cells[{j}] is not a JSON object")
-        for field in ("case", "strategy", "runs", "found"):
+        for field in cell_fields[schema]:
             if field not in cell:
                 sys.exit(f"{path}: cells[{j}] lacks {field!r}")
-    print(f"{path}: OK (hwf-bench-sched/1, {len(cells)} cells)")
+    print(f"{path}: OK ({schema}, {len(cells)} cells)")
     sys.exit(0)
 if not isinstance(head, dict):
     sys.exit(f"{path}: line 1 is not a JSON object")

@@ -292,7 +292,9 @@ let test_empty_invocation_loop_bounded () =
   (* Regression: a statement-free invocation records Inv_begin/Inv_end
      without advancing Trace.statements, so a program looping on empty
      invocations grew the trace and spun the scheduler forever —
-     step_limit never fired. Scheduler decisions are bounded too now. *)
+     step_limit never fired. Scheduler decisions are bounded too now,
+     and the decision bound reports itself as Decision_limit, distinct
+     from a genuine statement-budget stop (test_step_limit above). *)
   let config = Util.uni_config ~quantum:4 [ 1 ] in
   let body () =
     while true do
@@ -300,7 +302,7 @@ let test_empty_invocation_loop_bounded () =
     done
   in
   let r = Engine.run ~step_limit:25 ~config ~policy:Policy.first [| body |] in
-  Util.checkb "stops with Step_limit" (r.Engine.stop = Engine.Step_limit);
+  Util.checkb "stops with Decision_limit" (r.Engine.stop = Engine.Decision_limit);
   Util.checki "no statements" 0 (Trace.statements r.Engine.trace);
   Util.checkb "trace stayed bounded" (Trace.length r.Engine.trace <= 8 * 25)
 
