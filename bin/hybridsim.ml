@@ -256,6 +256,23 @@ let run_cmd =
 (* ---- explore: model checking ---- *)
 
 let explore_cmd =
+  (* Explore accepts one subject beyond the consensus figures: the
+     universal queue, whose verdict replays a Hist-recorded history
+     through the linearizability checker — the scenario family that
+     per-processor stamp clocks keep prunable (docs/PARALLELISM.md). *)
+  let impl_arg =
+    let doc =
+      "Scenario: fig3 (uniprocessor), fig7, fig9 (fair), or queue (universal \
+       queue over Fig. 7 consensus, history-checked via Lincheck)."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("fig3", `Fig3); ("fig7", `Fig7); ("fig9", `Fig9); ("queue", `Queue) ])
+          `Fig3
+      & info [ "i"; "impl" ] ~docv:"IMPL" ~doc)
+  in
   let pb_arg =
     let doc = "Preemption bound (context bound); omit for unbounded." in
     Arg.(value & opt (some int) None & info [ "b"; "preemption-bound" ] ~docv:"N" ~doc)
@@ -291,28 +308,86 @@ let explore_cmd =
     let doc = "PCT bug depth d (d-1 priority-change points per run)." in
     Arg.(value & opt int 3 & info [ "depth" ] ~docv:"D" ~doc)
   in
+  let indep_arg =
+    let doc =
+      "Arm the static independence oracle (docs/LINT.md): derive \
+       result-insensitive commuting RMW pairs from a schedule-battery replay \
+       of the scenario, differentially certify every claim by swap-replay \
+       (any refutation is a hard error, exit 1), and feed the stronger \
+       relation into the sleep-set pruning. Verdicts and counterexamples are \
+       unchanged; run counts can only shrink. DFS only."
+    in
+    Arg.(value & flag & info [ "indep" ] ~doc)
+  in
   let action impl cnum quantum layout pb max_runs do_shrink save jobs grain
-      no_dpor ckpt resume cell_wall trace_out metrics_out strategy runs depth
-      seed =
+      no_dpor indep ckpt resume cell_wall trace_out metrics_out strategy runs
+      depth seed =
    guarded @@ fun () ->
     Resil.install_interrupt_handlers ();
-    let b = scenario_of impl cnum quantum layout in
+    let scenario =
+      match impl with
+      | `Queue ->
+        Scenarios.universal_queue ~name:"cli" ~quantum ~consensus_number:cnum
+          ~layout ~ops_per:1
+      | (`Fig3 | `Fig7 | `Fig9) as impl ->
+        (scenario_of impl cnum quantum layout).Scenarios.scenario
+    in
+    let estats = Explore.make_stats ~jobs scenario in
+    let relation =
+      if not indep then None
+      else begin
+        let module Lint = Hwf_lint.Lint in
+        let module Indep = Hwf_lint.Indep in
+        (* The certifier replays [make] on its own; thread each fresh
+           instance's verdict closure through so data escapes into the
+           harness check are caught, not just trace divergences. *)
+        let current_check = ref (fun (_ : Engine.result) -> Ok ()) in
+        let make () =
+          let i = scenario.Explore.make () in
+          current_check := i.Explore.check;
+          i.Explore.programs
+        in
+        let spec =
+          {
+            Lint.name = scenario.Explore.name;
+            config = scenario.Explore.config;
+            make;
+            expect = Hwf_lint.Checks.Helping;
+            min_quantum = 1;
+            theorem = "independence oracle";
+            fair_only = true;
+            step_limit = 8_000_000;
+          }
+        in
+        let outcome = Lint.run spec in
+        match
+          Indep.certified_relation ~check:(fun r -> !current_check r)
+            ~config:scenario.Explore.config ~make outcome
+        with
+        | Error m ->
+          Fmt.epr "independence oracle REFUTED: %s@." m;
+          exit 1
+        | Ok (t, cert) ->
+          Fmt.pr "oracle: %a@." Indep.pp_summary (Indep.summary t);
+          Fmt.pr "oracle: %a@." Indep.pp_certification cert;
+          Some { Explore.rname = "static"; rel = Indep.relation t }
+      end
+    in
     let o =
       match strategy with
       | "dfs" ->
         Explore.explore ?preemption_bound:pb ~max_runs ~step_limit:8_000_000 ~jobs
-          ?grain ~dpor:(not no_dpor) ?cell_wall_s:cell_wall ?checkpoint:ckpt
-          ~resume b.Scenarios.scenario
+          ?grain ~dpor:(not no_dpor) ?relation ~stats:estats
+          ?cell_wall_s:cell_wall ?checkpoint:ckpt ~resume scenario
       | s -> (
         match Randsched.of_name ~depth s with
         | Error m ->
           Fmt.epr "%s@." m;
           exit 2
         | Ok strategy ->
-          let estats = Explore.make_stats ~jobs b.Scenarios.scenario in
           let o =
             Explore.sample ~runs ~step_limit:8_000_000 ~jobs ?grain ~stats:estats
-              ~strategy ~seed b.Scenarios.scenario
+              ~strategy ~seed scenario
           in
           (match o.Explore.counterexample with
           | Some _ ->
@@ -330,12 +405,26 @@ let explore_cmd =
           o)
     in
     Fmt.pr "%a@." Explore.pp_outcome o;
+    if strategy = "dfs" then begin
+      Fmt.pr "sleep sets: %d branches pruned; source sets: %d blocked prefixes@."
+        (Explore.stats_pruned estats)
+        (Explore.stats_source_prunes estats);
+      (* Taint probe on the canonical first schedule: a clock read
+         (Eff.now) disarms pruning; per-processor stamps (Eff.stamp) do
+         not (docs/PARALLELISM.md). *)
+      let probe, _ = Schedule.replay scenario [] in
+      let tr = probe.Engine.trace in
+      Fmt.pr "clock taint: %s (%d stamp reads, %d clock reads)@."
+        (if Trace.now_reads tr = 0 then "none (pruning armed)"
+         else "TAINTED (pruning disarmed)")
+        (Trace.stamp_reads tr) (Trace.now_reads tr)
+    end;
     (* Exports are schedule-deterministic: the counterexample's replayed
        trace if one was found, otherwise the canonical first (all-zeros)
        schedule — both identical across --jobs settings whenever the
        outcome is. *)
     let export schedule =
-      let result, _ = Schedule.replay b.Scenarios.scenario schedule in
+      let result, _ = Schedule.replay scenario schedule in
       Option.iter (fun path -> export_trace path result.Engine.trace) trace_out;
       Option.iter
         (fun path ->
@@ -357,14 +446,14 @@ let explore_cmd =
     | Some c ->
       let schedule =
         if do_shrink then begin
-          let small = Shrink.shrink b.Scenarios.scenario c.decisions in
+          let small = Shrink.shrink scenario c.decisions in
           Fmt.pr "shrunk %d decisions to %d@." (List.length c.decisions)
             (List.length small);
           small
         end
         else c.decisions
       in
-      let result, _ = Schedule.replay b.Scenarios.scenario schedule in
+      let result, _ = Schedule.replay scenario schedule in
       Fmt.pr "@.%s@.schedule: %s@." (Render.lanes result.trace)
         (Schedule.to_string schedule);
       (match save with
@@ -379,7 +468,7 @@ let explore_cmd =
     Term.(
       const action $ impl_arg $ cnum_arg $ quantum_arg $ layout_arg $ pb_arg
       $ max_runs_arg $ shrink_arg $ save_arg $ jobs_arg $ grain_arg $ no_dpor_arg
-      $ checkpoint_arg $ resume_arg $ cell_wall_arg $ trace_out_arg
+      $ indep_arg $ checkpoint_arg $ resume_arg $ cell_wall_arg $ trace_out_arg
       $ metrics_out_arg $ strategy_arg $ runs_arg $ depth_arg $ seed_arg)
   in
   Cmd.v
@@ -421,34 +510,90 @@ let replay_cmd =
     (Cmd.info "replay" ~doc:"Replay a saved schedule against a scenario and re-judge it.")
     term
 
-(* ---- analyze: run once and print trace analytics ---- *)
+(* ---- analyze: run once and print trace analytics + race report ---- *)
 
 let analyze_cmd =
-  let action impl cnum quantum layout policy seed =
-    let b = scenario_of impl cnum quantum layout in
-    let instance = b.Scenarios.scenario.Explore.make () in
-    let r =
-      Engine.run ~step_limit:20_000_000 ~config:b.Scenarios.scenario.Explore.config
-        ~policy:(make_policy policy seed) instance.Explore.programs
+  let report_arg =
+    let doc =
+      "Write the happens-before race report as JSON lines (schema \
+       hwf-analyze/1; see docs/OBSERVABILITY.md). Deterministic for a \
+       deterministic policy."
     in
-    let a = Analysis.of_trace r.trace in
-    Fmt.pr "%a@." Analysis.pp_summary a;
-    List.iter
-      (fun (i : Analysis.inv_stat) ->
-        Fmt.pr "  %a.%d %-8s %3d stmts, %d same-level / %d higher-level preemptions%s@."
-          Proc.pp_pid i.pid i.inv i.label i.statements i.same_level_preemptions
-          i.higher_level_preemptions
-          (if i.completed then "" else " (incomplete)"))
-      a.invocations
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let corpus_arg =
+    let doc =
+      "Negative-control mode: run the race certifier over the known-racy and \
+       known-clean corpus instead of a scenario. Every racy case must be \
+       flagged on its expected variable and every clean case must come back \
+       empty; exit 1 otherwise."
+    in
+    Arg.(value & flag & info [ "corpus" ] ~doc)
+  in
+  let action impl cnum quantum layout policy seed report corpus =
+   guarded @@ fun () ->
+    if corpus then begin
+      let module C = Hwf_race_corpus.Corpus in
+      let misses =
+        List.filter_map
+          (fun (c : C.case) ->
+            let r = C.analyze c in
+            let ok = C.verdict_matches c r in
+            Fmt.pr "%-16s expected %-5s found %d race(s)%s %s@." c.C.name
+              (if c.C.racy then "racy" else "clean")
+              (Hwf_obs.Races.count r)
+              (match c.C.var with Some v -> " on " ^ v | None -> "")
+              (if ok then "(ok)" else "MISMATCH");
+            if ok then None else Some c.C.name)
+          (C.all)
+      in
+      match misses with
+      | [] ->
+        Fmt.pr "corpus: all %d race-certifier controls passed@."
+          (List.length C.all)
+      | ms ->
+        Fmt.epr "corpus: %d control(s) failed: %a@." (List.length ms)
+          Fmt.(list ~sep:comma string)
+          ms;
+        exit 1
+    end
+    else begin
+      let b = scenario_of impl cnum quantum layout in
+      let config = b.Scenarios.scenario.Explore.config in
+      let instance = b.Scenarios.scenario.Explore.make () in
+      let r =
+        Engine.run ~step_limit:20_000_000 ~config
+          ~policy:(make_policy policy seed) instance.Explore.programs
+      in
+      let a = Analysis.of_trace r.trace in
+      Fmt.pr "%a@." Analysis.pp_summary a;
+      List.iter
+        (fun (i : Analysis.inv_stat) ->
+          Fmt.pr "  %a.%d %-8s %3d stmts, %d same-level / %d higher-level preemptions%s@."
+            Proc.pp_pid i.pid i.inv i.label i.statements i.same_level_preemptions
+            i.higher_level_preemptions
+            (if i.completed then "" else " (incomplete)"))
+        a.invocations;
+      let races = Hwf_obs.Races.of_trace r.trace in
+      Fmt.pr "@.%a@." Hwf_obs.Races.pp_report races;
+      Option.iter
+        (fun path ->
+          Hwf_obs.Jsonl.write_races ~path ~config races;
+          Fmt.pr "report: %s@." path)
+        report
+    end
   in
   let term =
     Term.(
       const action $ impl_arg $ cnum_arg $ quantum_arg $ layout_arg $ policy_arg
-      $ seed_arg)
+      $ seed_arg $ report_arg $ corpus_arg)
   in
   Cmd.v
     (Cmd.info "analyze"
-       ~doc:"Run a scenario once and print per-invocation preemption analytics.")
+       ~doc:
+         "Run a scenario once and print per-invocation preemption analytics \
+          plus the happens-before race report (or, with --corpus, check the \
+          race certifier against its known-racy/known-clean controls).")
     term
 
 (* ---- bivalence ---- *)
@@ -985,6 +1130,18 @@ let stats_cmd =
       (fun i r -> if r > 0 then Fmt.pr "  subtree %d: %d runs@." i r)
       (Explore.stats_subtree_runs estats);
     Fmt.pr "sleep sets: %d branches pruned@." (Explore.stats_pruned estats);
+    Fmt.pr "source sets: %d blocked prefixes discarded@."
+      (Explore.stats_source_prunes estats);
+    let races = Hwf_obs.Races.of_trace trace in
+    Fmt.pr "races: %d on %d variable(s)%s@."
+      (Hwf_obs.Races.count races)
+      (List.length races.Hwf_obs.Races.racy_vars)
+      (if Hwf_obs.Races.racy races then
+         Fmt.str " (%a)" Fmt.(list ~sep:comma string) races.Hwf_obs.Races.racy_vars
+       else "");
+    Fmt.pr "clock taint: %s (%d stamp reads, %d clock reads)@."
+      (if Trace.now_reads trace = 0 then "none" else "tainted")
+      (Trace.stamp_reads trace) (Trace.now_reads trace);
     let pool = Explore.stats_pool estats in
     Fmt.pr "pool: %d claims (%d stolen), %d cells evaluated, %d skipped@."
       (Hwf_par.Pool.stats_claims pool)

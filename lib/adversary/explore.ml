@@ -52,17 +52,30 @@ type cand = Policy.footprint
 let max_sleep_pids = 62
 
 let footprint = Policy.footprint
-let independent = Policy.independent
+
+(* The independence relation the pruning runs on. The baseline is
+   [Policy.independent]; [Hwf_lint.Indep] derives stronger (still
+   sound) relations from static analysis and feeds them in through
+   [explore ?relation]. The name is part of the campaign identity: a
+   stronger relation changes run counts, so a checkpoint journal
+   written under one relation cannot seed a resume under another. *)
+type relation = { rname : string; rel : Policy.relation }
+
+let base_relation = { rname = "base"; rel = Policy.independent }
 
 let slept mask pid = mask land (1 lsl pid) <> 0
 
-(* First candidate not in the sleep set; if every candidate is slept
-   (possible but rare — sleeping is not closed under "something must
-   run") fall back to 0, which re-explores a covered schedule: redundant
-   but sound. *)
+(* First candidate not in the sleep set, or [-1] when every candidate
+   is slept. A fully-slept decision point means every enabled
+   transition here is covered by a DFS-earlier sibling subtree — the
+   source-set refinement discards the whole prefix instead of
+   re-exploring a covered schedule (the pre-source-set fallback was
+   "take 0: redundant but sound"). *)
 let first_awake cands mask =
   let n = Array.length cands in
-  let rec go j = if j >= n then 0 else if slept mask cands.(j).Policy.fpid then go (j + 1) else j in
+  let rec go j =
+    if j >= n then -1 else if slept mask cands.(j).Policy.fpid then go (j + 1) else j
+  in
   go 0
 
 let no_cands : cand array = [||]
@@ -89,6 +102,7 @@ type slot = {
 type stats = {
   subtree_runs : int Atomic.t array;  (* indexed by top-level choice *)
   pruned : int Atomic.t;  (* sibling branches skipped as slept *)
+  source_prunes : int Atomic.t;  (* fully-slept prefixes discarded *)
   sampled : int Atomic.t;  (* engine runs performed by [sample] *)
   pool : Hwf_par.Pool.stats;
 }
@@ -100,12 +114,14 @@ let make_stats ?jobs scenario =
   {
     subtree_runs = Array.init (max 1 (Config.n scenario.config)) (fun _ -> Atomic.make 0);
     pruned = Atomic.make 0;
+    source_prunes = Atomic.make 0;
     sampled = Atomic.make 0;
     pool = Hwf_par.Pool.make_stats ~jobs;
   }
 
 let stats_subtree_runs s = Array.map Atomic.get s.subtree_runs
 let stats_pruned s = Atomic.get s.pruned
+let stats_source_prunes s = Atomic.get s.source_prunes
 let stats_sampled s = Atomic.get s.sampled
 let stats_pool s = s.pool
 
@@ -128,6 +144,11 @@ let record_pruned stats k =
   match stats with
   | None -> ()
   | Some s -> if k > 0 then ignore (Atomic.fetch_and_add s.pruned k)
+
+let record_source_prune stats =
+  match stats with
+  | None -> ()
+  | Some s -> ignore (Atomic.fetch_and_add s.source_prunes 1)
 
 let pool_of stats = Option.map (fun s -> s.pool) stats
 
@@ -171,11 +192,14 @@ let sever arena = arena.atrace <- None
    off). Records the decision slots taken; with [dpor] also recomputes
    the sleep sets along the path — a pure function of the prefix, which
    is what keeps checkpoint/resume and the parallel fan-out oblivious
-   to pruning. Returns [(result, slots, truncated, tainted)];
+   to pruning. Returns [(result, slots, truncated, tainted, blocked)];
    [tainted] is true when the program read the global statement clock
-   ([Eff.now]), which invalidates the independence relation. *)
-let run_one ~dpor ~preemption_bound ~max_depth ~step_limit ~config ?arena instance
-    prefix =
+   ([Eff.now]), which invalidates the independence relation; [blocked]
+   is true when the run was cut off at a fully-slept decision point
+   (every enabled transition covered by an earlier sibling subtree), in
+   which case the prefix must be discarded without a verdict check. *)
+let run_one ~dpor ~relation ~preemption_bound ~max_depth ~step_limit ~config ?arena
+    instance prefix =
   let slots =
     match arena with
     | Some a ->
@@ -187,7 +211,9 @@ let run_one ~dpor ~preemption_bound ~max_depth ~step_limit ~config ?arena instan
   let prev = ref (-1) in
   let budget = ref (match preemption_bound with None -> max_int | Some b -> b) in
   let truncated = ref false in
+  let blocked = ref false in
   let sleep = ref 0 in
+  let independent = relation.rel in
   let choose (view : Policy.view) =
     let r = view.runnable in
     let preferred = if List.mem !prev r then Some !prev else None in
@@ -210,33 +236,42 @@ let run_one ~dpor ~preemption_bound ~max_depth ~step_limit ~config ?arena instan
         if dpor && !sleep <> 0 then first_awake cands !sleep else 0
       end
     in
-    let idx = if idx < List.length candidates then idx else 0 in
-    let pick = List.nth candidates idx in
-    let n = if d >= max_depth then 1 else List.length candidates in
-    Vec.push slots { choice = idx; candidates = n; pid = pick; cands; sleep = !sleep };
-    if dpor then begin
-      (* Child sleep set: of the processes slept here or explored as
-         earlier siblings, those independent of the taken transition
-         still have their (unchanged) transition covered elsewhere. *)
-      let taken = cands.(idx) in
-      let z = ref 0 in
-      Array.iteri
-        (fun j c ->
-          if (j < idx || slept !sleep c.Policy.fpid) && independent c taken then
-            z := !z lor (1 lsl c.Policy.fpid))
-        cands;
-      sleep := !z
-    end;
-    (match preferred with
-    | Some p when pick <> p -> decr budget
-    | Some _ | None -> ());
-    prev := pick;
-    Some pick
+    if idx < 0 then begin
+      (* Fully-slept decision point: every enabled transition is covered
+         by a DFS-earlier sibling. Stop the run (Policy_stopped) — the
+         caller discards the prefix without a verdict check. *)
+      blocked := true;
+      None
+    end
+    else begin
+      let idx = if idx < List.length candidates then idx else 0 in
+      let pick = List.nth candidates idx in
+      let n = if d >= max_depth then 1 else List.length candidates in
+      Vec.push slots { choice = idx; candidates = n; pid = pick; cands; sleep = !sleep };
+      if dpor then begin
+        (* Child sleep set: of the processes slept here or explored as
+           earlier siblings, those independent of the taken transition
+           still have their (unchanged) transition covered elsewhere. *)
+        let taken = cands.(idx) in
+        let z = ref 0 in
+        Array.iteri
+          (fun j c ->
+            if (j < idx || slept !sleep c.Policy.fpid) && independent c taken then
+              z := !z lor (1 lsl c.Policy.fpid))
+          cands;
+        sleep := !z
+      end;
+      (match preferred with
+      | Some p when pick <> p -> decr budget
+      | Some _ | None -> ());
+      prev := pick;
+      Some pick
+    end
   in
   let policy = Policy.of_fun "explore" choose in
   let trace_buf = Option.map (fun a -> arena_trace a config) arena in
   let result = Engine.run ~step_limit ?trace_buf ~config ~policy instance.programs in
-  (result, slots, !truncated, Trace.now_reads result.trace > 0)
+  (result, slots, !truncated, Trace.now_reads result.trace > 0, !blocked)
 
 (* Deepest slot with an unexplored, non-slept sibling. With [dpor],
    siblings in the slot's entry sleep set are skipped — their subtrees
@@ -314,7 +349,7 @@ type subtree = { sruns : int; sexhaustive : bool; scx : counterexample option }
    so the total number of engine runs across all domains never exceeds
    [max_runs]. [aborted] lets a worker retire once a lower-indexed
    subtree (earlier in canonical order) has found a counterexample. *)
-let subtree_dfs ~dpor ~claim ~aborted ~stats ~preemption_bound ~max_depth
+let subtree_dfs ~dpor ~relation ~claim ~aborted ~stats ~preemption_bound ~max_depth
     ~step_limit ~on_step_limit ~root ?arena scenario start =
   let runs = ref 0 in
   let exhaustive = ref true in
@@ -327,28 +362,41 @@ let subtree_dfs ~dpor ~claim ~aborted ~stats ~preemption_bound ~max_depth
     if aborted () || not (claim ()) then
       { sruns = !runs; sexhaustive = false; scx = None }
     else begin
-      incr runs;
       let instance = scenario.make () in
-      let result, slots, truncated, tainted =
-        run_one ~dpor ~preemption_bound ~max_depth ~step_limit
+      let result, slots, truncated, tainted, blocked =
+        run_one ~dpor ~relation ~preemption_bound ~max_depth ~step_limit
           ~config:scenario.config ?arena instance prefix
       in
-      record_run stats slots;
       if tainted && dpor then invalid_arg tainted_msg;
       if truncated then exhaustive := false;
-      match verdict ~on_step_limit instance result with
-      | Error message ->
-        let decisions = List.map (fun s -> s.pid) (Vec.to_list slots) in
-        Option.iter sever arena;
-        {
-          sruns = !runs;
-          sexhaustive = false;
-          scx = Some { message; trace = result.trace; decisions };
-        }
-      | Ok () -> (
+      if blocked then begin
+        (* Source-set prune: the prefix ran into a fully-slept decision
+           point, so every completion of it is Mazurkiewicz-equivalent
+           to a schedule in a DFS-earlier subtree. Discard it without a
+           verdict check (the run is incomplete by construction) and
+           keep backtracking from the decisions gathered so far. *)
+        record_source_prune stats;
         match backtrack ~dpor ?stats slots with
         | Some prefix when in_subtree prefix -> loop prefix
-        | Some _ | None -> { sruns = !runs; sexhaustive = !exhaustive; scx = None })
+        | Some _ | None -> { sruns = !runs; sexhaustive = !exhaustive; scx = None }
+      end
+      else begin
+        incr runs;
+        record_run stats slots;
+        match verdict ~on_step_limit instance result with
+        | Error message ->
+          let decisions = List.map (fun s -> s.pid) (Vec.to_list slots) in
+          Option.iter sever arena;
+          {
+            sruns = !runs;
+            sexhaustive = false;
+            scx = Some { message; trace = result.trace; decisions };
+          }
+        | Ok () -> (
+          match backtrack ~dpor ?stats slots with
+          | Some prefix when in_subtree prefix -> loop prefix
+          | Some _ | None -> { sruns = !runs; sexhaustive = !exhaustive; scx = None })
+      end
     end
   in
   loop start
@@ -382,7 +430,7 @@ let dpor_requested ~dpor ~preemption_bound scenario =
   dpor && preemption_bound = None && Config.n scenario.config <= max_sleep_pids
 
 let explore_plain ?preemption_bound ~max_runs ~max_depth ~step_limit ~on_step_limit
-    ~jobs ~grain ~dpor ?stats scenario =
+    ~jobs ~grain ~dpor ~relation ?stats scenario =
   let claimed = Atomic.make 0 in
   let claim () =
     Atomic.get claimed < max_runs && Atomic.fetch_and_add claimed 1 < max_runs
@@ -403,14 +451,14 @@ let explore_plain ?preemption_bound ~max_runs ~max_depth ~step_limit ~on_step_li
        whether the scenario reads the global clock. *)
     let arena0 = make_arena () in
     let instance = scenario.make () in
-    let result, slots, probe_truncated, probe_tainted =
-      run_one ~dpor:dpor_req ~preemption_bound ~max_depth ~step_limit
+    let result, slots, probe_truncated, probe_tainted, _ =
+      run_one ~dpor:dpor_req ~relation ~preemption_bound ~max_depth ~step_limit
         ~config:scenario.config ~arena:arena0 instance [||]
     in
     record_run stats slots;
     let dpor = dpor_req && not probe_tainted in
     let dfs =
-      subtree_dfs ~dpor ~stats ~preemption_bound ~max_depth ~step_limit
+      subtree_dfs ~dpor ~relation ~stats ~preemption_bound ~max_depth ~step_limit
         ~on_step_limit
     in
     match verdict ~on_step_limit instance result with
@@ -588,27 +636,28 @@ let subtree_of_payload ~step_limit scenario payload =
 (* [dpor] is the {e armed} value (after the probe's taint decision): it
    changes run counts, so it is part of the campaign identity — a
    journal written with pruning cannot seed a resume without it. *)
-let campaign_id ~dpor ~preemption_bound ~max_runs ~max_depth ~step_limit
+let campaign_id ~dpor ~relation ~preemption_bound ~max_runs ~max_depth ~step_limit
     ~on_step_limit scenario =
   let params =
-    Printf.sprintf "%s|pb=%s|runs=%d|depth=%d|steps=%d|osl=%s|dpor=%b" scenario.name
+    Printf.sprintf "%s|pb=%s|runs=%d|depth=%d|steps=%d|osl=%s|dpor=%b|rel=%s"
+      scenario.name
       (match preemption_bound with None -> "-" | Some b -> string_of_int b)
       max_runs max_depth step_limit
       (match on_step_limit with `Fail -> "fail" | `Ignore -> "ignore")
-      dpor
+      dpor relation.rname
   in
   Printf.sprintf "explore/%s/%s" scenario.name (Digest.to_hex (Digest.string params))
 
 let explore_checkpointed ~preemption_bound ~max_runs ~max_depth ~step_limit
-    ~on_step_limit ~jobs ~grain ~dpor ~stats ~cell_wall_s ~path ~resume
+    ~on_step_limit ~jobs ~grain ~dpor ~relation ~stats ~cell_wall_s ~path ~resume
     ~should_stop scenario =
   (* Structural probe: discovers the top-level width and the clock-read
      taint that decides pruning. Uncounted and unrecorded — subtree 0
      re-runs this schedule as its first run. *)
   let dpor_req = dpor_requested ~dpor ~preemption_bound scenario in
   let probe_inst = scenario.make () in
-  let _, probe_slots, _, probe_tainted =
-    run_one ~dpor:dpor_req ~preemption_bound ~max_depth ~step_limit
+  let _, probe_slots, _, probe_tainted, _ =
+    run_one ~dpor:dpor_req ~relation ~preemption_bound ~max_depth ~step_limit
       ~config:scenario.config probe_inst [||]
   in
   let dpor = dpor_req && not probe_tainted in
@@ -616,7 +665,7 @@ let explore_checkpointed ~preemption_bound ~max_runs ~max_depth ~step_limit
     if Vec.length probe_slots = 0 then 1 else max 1 (Vec.get probe_slots 0).candidates
   in
   let campaign =
-    campaign_id ~dpor ~preemption_bound ~max_runs ~max_depth ~step_limit
+    campaign_id ~dpor ~relation ~preemption_bound ~max_runs ~max_depth ~step_limit
       ~on_step_limit scenario
   in
   match Checkpoint.open_ ~path ~campaign ~cells:width ~resume with
@@ -648,8 +697,8 @@ let explore_checkpointed ~preemption_bound ~max_runs ~max_depth ~step_limit
       let root = if width <= 1 then None else Some i in
       let start = if width <= 1 then [||] else [| i |] in
       let st =
-        subtree_dfs ~dpor ~claim ~aborted ~stats ~preemption_bound ~max_depth
-          ~step_limit ~on_step_limit ~root ~arena scenario start
+        subtree_dfs ~dpor ~relation ~claim ~aborted ~stats ~preemption_bound
+          ~max_depth ~step_limit ~on_step_limit ~root ~arena scenario start
       in
       (match st.scx with Some _ -> atomic_min best i | None -> ());
       (* Journal only untainted cells: a cell cut short by an interrupt
@@ -708,15 +757,15 @@ let explore_checkpointed ~preemption_bound ~max_runs ~max_depth ~step_limit
 
 let explore ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
     ?(step_limit = 100_000) ?(on_step_limit = `Fail) ?(jobs = 1) ?grain
-    ?(dpor = true) ?stats ?cell_wall_s ?checkpoint ?(resume = false)
-    ?(should_stop = fun () -> false) scenario =
+    ?(dpor = true) ?(relation = base_relation) ?stats ?cell_wall_s ?checkpoint
+    ?(resume = false) ?(should_stop = fun () -> false) scenario =
   match checkpoint with
   | None ->
     explore_plain ?preemption_bound ~max_runs ~max_depth ~step_limit ~on_step_limit
-      ~jobs ~grain ~dpor ?stats scenario
+      ~jobs ~grain ~dpor ~relation ?stats scenario
   | Some path ->
     explore_checkpointed ~preemption_bound ~max_runs ~max_depth ~step_limit
-      ~on_step_limit ~jobs ~grain ~dpor ~stats ~cell_wall_s ~path ~resume
+      ~on_step_limit ~jobs ~grain ~dpor ~relation ~stats ~cell_wall_s ~path ~resume
       ~should_stop scenario
 
 let iter_schedules ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
@@ -728,9 +777,9 @@ let iter_schedules ?preemption_bound ?(max_runs = 200_000) ?(max_depth = 10_000)
     if !runs < max_runs then begin
       incr runs;
       let instance = scenario.make () in
-      let result, slots, _truncated, _tainted =
-        run_one ~dpor:false ~preemption_bound ~max_depth ~step_limit
-          ~config:scenario.config instance prefix
+      let result, slots, _truncated, _tainted, _blocked =
+        run_one ~dpor:false ~relation:base_relation ~preemption_bound ~max_depth
+          ~step_limit ~config:scenario.config instance prefix
       in
       let pids = List.map (fun s -> s.pid) (Vec.to_list slots) in
       match f ~pids result with

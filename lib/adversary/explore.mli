@@ -15,37 +15,63 @@
     about (at most one quantum preemption per short code sequence) plus
     a margin.
 
-    {2 Sleep-set pruning}
+    {2 Sleep-set pruning and source sets}
 
-    The search applies {e sleep-set pruning} (the first dynamic
-    partial-order-reduction step) by default. Within one processor no
-    reduction is possible: every statement advances the scheduler's
-    preemption accounting (pending flags, quantum guarantees) of every
-    other process on its processor, so even statements on disjoint
-    variables do not commute — uniprocessor scenarios are explored in
-    full, bit-identically to [~dpor:false]. {e Across} processors the
+    The search applies {e sleep-set pruning} (dynamic partial-order
+    reduction) by default. Within one processor no reduction is
+    possible: every statement advances the scheduler's preemption
+    accounting (pending flags, quantum guarantees) of every other
+    process on its processor, so even statements on disjoint variables
+    do not commute — uniprocessor scenarios are explored in full,
+    bit-identically to [~dpor:false]. {e Across} processors the
     scheduler state is disjoint by construction, so two transitions of
     processes on different processors commute exactly when their data
     footprints do not conflict (same shared variable, at least one
-    write). The explorer computes that relation per decision point from
-    the policy view ([next_op]), carries a sleep set down each path
-    (recomputed from the decision prefix alone, so pruning is oblivious
-    to [jobs], [grain] and checkpoint/resume), and skips sibling
-    branches whose first transition is slept — their interleavings are
-    covered by the sibling that put them to sleep.
+    write — the baseline {!Hwf_sim.Policy.independent}). The explorer
+    computes that relation per decision point from the policy view
+    ([next_op]), carries a sleep set down each path (recomputed from
+    the decision prefix alone, so pruning is oblivious to [jobs],
+    [grain] and checkpoint/resume), and skips sibling branches whose
+    first transition is slept — their interleavings are covered by the
+    sibling that put them to sleep.
+
+    {e Source-set refinement}: sleeping is not closed under "something
+    must run", so a DFS prefix can reach a decision point whose every
+    candidate is slept. Each candidate's next transition is then
+    covered by a DFS-earlier sibling subtree, and (inductively) so is
+    every completion of the prefix — the prefix is a {e sleep-set
+    blocked} schedule in Abdulla et al.'s sense. The search discards it
+    without a verdict check (counted as a {!stats_source_prunes}
+    prune), where it previously fell back to re-exploring a covered
+    schedule. Blocked prefixes are the exact gap between plain sleep
+    sets and source-set optimality: with them discarded, every
+    completed run the search performs sits in a distinct Mazurkiewicz
+    class.
+
+    {e Stronger relations}: [explore ?relation] accepts an independence
+    judgement stronger than the footprint baseline — in practice the
+    statically-derived oracle of [Hwf_lint.Indep], which additionally
+    commutes same-variable RMW pairs proven result-insensitive (e.g.
+    two fetch&adds whose return values steer no branch). The relation's
+    name is part of the checkpoint campaign identity, since run counts
+    depend on it.
 
     Validity boundary: the relation assumes programs observe nothing
-    global outside their {!Hwf_sim.Shared} footprints. The one such door
-    is [Eff.now] (the global statement clock): if the probe run reads
-    it, pruning is silently disarmed for the whole search (so
-    history-recording scenarios are simply explored in full); if a
+    global outside their {!Hwf_sim.Shared} footprints. The one such
+    door is [Eff.now] (the global statement clock): if the probe run
+    reads it, pruning is silently disarmed for the whole search; if a
     {e later} schedule is the first to read it, the search raises
     [Invalid_argument] telling you to pass [~dpor:false] — it cannot
     miss that schedule, because a pruned schedule executes the same
     per-process statement sequences as the explored schedule covering
-    it. Pruning is also disarmed under a [preemption_bound] (the
-    restricted candidate lists break the sleep-set invariant) and for
-    configurations wider than 62 processes (the sleep set is a pid
+    it. [Eff.stamp] (the per-processor timestamp pair) is {e not} such
+    a door and does not taint: same-processor transitions never
+    commute, so per-processor statement counts are invariant under
+    every commutation the pruning performs — history recorders
+    ({!Hwf_check.Hist}) use it precisely so linearizability scenarios
+    stay prunable. Pruning is also disarmed under a [preemption_bound]
+    (the restricted candidate lists break the sleep-set invariant) and
+    for configurations wider than 62 processes (the sleep set is a pid
     bitmask). Context bounding remains the reduction of choice for
     uniprocessor scenarios; sleep sets are the multiprocessor one, and
     the two are never armed together. *)
@@ -87,12 +113,24 @@ type outcome = {
 type stats
 (** Search-layer counters for the observability layer: engine runs per
     top-level scheduling choice (subtree sizes), sibling branches
-    skipped by sleep-set pruning, plus the domain pool's occupancy
-    counters. Off by default — without a [?stats] argument nothing is
-    counted. The per-root run counts and the pruned count are
-    deterministic whenever the search completes; the pool counters
-    depend on domain racing and are display-only (never exported to
-    JSONL). *)
+    skipped by sleep-set pruning, blocked prefixes discarded by source
+    sets, plus the domain pool's occupancy counters. Off by default —
+    without a [?stats] argument nothing is counted. The per-root run
+    counts and the prune counts are deterministic whenever the search
+    completes; the pool counters depend on domain racing and are
+    display-only (never exported to JSONL). *)
+
+type relation = { rname : string; rel : Hwf_sim.Policy.relation }
+(** A named independence relation for the pruning. The name is part of
+    the checkpoint campaign identity (run counts depend on the
+    relation, so a journal written under one relation cannot seed a
+    resume under another). The relation must be sound: [rel a b = true]
+    only when executing [a] and [b] in either order yields the same
+    engine state and downstream behaviour. *)
+
+val base_relation : relation
+(** The footprint baseline {!Hwf_sim.Policy.independent}, named
+    ["base"]. *)
 
 val make_stats : ?jobs:int -> scenario -> stats
 (** [jobs] sizes the pool's per-worker histogram (default
@@ -107,6 +145,12 @@ val stats_pruned : stats -> int
 (** Sibling branches skipped because their first transition was slept —
     each skip is a whole subtree the pruned search did not have to
     enumerate. Zero on uniprocessor scenarios and with [~dpor:false]. *)
+
+val stats_source_prunes : stats -> int
+(** Sleep-set blocked prefixes discarded by the source-set refinement:
+    runs that reached a decision point with every candidate slept and
+    were abandoned without a verdict check. Zero on uniprocessor
+    scenarios and with [~dpor:false]. *)
 
 val stats_sampled : stats -> int
 (** Engine runs performed by {!sample} (and {!random_runs}) — the
@@ -123,6 +167,7 @@ val explore :
   ?jobs:int ->
   ?grain:int ->
   ?dpor:bool ->
+  ?relation:relation ->
   ?stats:stats ->
   ?cell_wall_s:float ->
   ?checkpoint:string ->
@@ -137,12 +182,16 @@ val explore :
     [on_step_limit] (default [`Fail] — suitable for wait-free algorithms,
     which must terminate under every schedule).
 
-    [dpor] (default [true]) arms sleep-set pruning — see the module
-    preamble for semantics, the cases where it silently disarms itself,
-    and the soundness argument. Verdicts, counterexamples and
+    [dpor] (default [true]) arms sleep-set pruning with the source-set
+    refinement — see the module preamble for semantics, the cases where
+    it silently disarms itself, and the soundness argument. [relation]
+    (default {!base_relation}) substitutes a stronger independence
+    judgement (see [Hwf_lint.Indep]). Verdicts, counterexamples and
     exhaustiveness are unchanged by pruning; [runs] shrinks on
     multiprocessor scenarios (the cross-check is regression-tested and
-    part of the E17 campaign).
+    part of the E17 campaign). [runs] counts verdict-checked schedules;
+    prefixes discarded as sleep-set blocked are reported through
+    {!stats_source_prunes} instead.
 
     [jobs] (default 1) fans the search out over that many domains: each
     top-level scheduler candidate roots an independent subtree explored

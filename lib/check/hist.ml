@@ -1,10 +1,18 @@
 open Hwf_sim
 
-type ('op, 'r) entry = { pid : int; op : 'op; result : 'r; t0 : int; t1 : int }
+type ('op, 'r) entry = {
+  pid : int;
+  op : 'op;
+  result : 'r;
+  proc : int;
+  t0 : int;
+  t1 : int;
+}
 
 type ('op, 'r) t = {
   completed : ('op, 'r) entry Vec.t;
-  mutable started : (int * 'op * int) list;  (* (pid, op, t0), newest first *)
+  mutable started : (int * 'op * int * int) list;
+      (* (pid, op, proc, t0), newest first *)
 }
 
 let create () = { completed = Vec.create (); started = [] }
@@ -17,12 +25,12 @@ let remove_first p l =
   go [] l
 
 let wrap h ~pid op f =
-  let t0 = Eff.now () in
-  h.started <- (pid, op, t0) :: h.started;
+  let proc, t0 = Eff.stamp () in
+  h.started <- (pid, op, proc, t0) :: h.started;
   let result = f () in
-  let t1 = Eff.now () in
-  h.started <- remove_first (fun (p, _, s) -> p = pid && s = t0) h.started;
-  Vec.push h.completed { pid; op; result; t0; t1 };
+  let _, t1 = Eff.stamp () in
+  h.started <- remove_first (fun (p, _, _, s) -> p = pid && s = t0) h.started;
+  Vec.push h.completed { pid; op; result; proc; t0; t1 };
   result
 
 let entries h = Vec.to_list h.completed
@@ -31,10 +39,11 @@ let pending h = List.rev h.started
 
 let pp ~op ~result ppf h =
   let pp_entry ppf e =
-    Fmt.pf ppf "[%d,%d) p%d: %a -> %a" e.t0 e.t1 (e.pid + 1) op e.op result e.result
+    Fmt.pf ppf "[%d,%d)@@%d p%d: %a -> %a" e.t0 e.t1 e.proc (e.pid + 1) op e.op
+      result e.result
   in
-  let pp_pending ppf (pid, o, t0) =
-    Fmt.pf ppf "[%d,?) p%d: %a -> PENDING" t0 (pid + 1) op o
+  let pp_pending ppf (pid, o, proc, t0) =
+    Fmt.pf ppf "[%d,?)@@%d p%d: %a -> PENDING" t0 proc (pid + 1) op o
   in
   Fmt.pf ppf "@[<v>%a%a@]"
     Fmt.(list ~sep:(any "@,") pp_entry)

@@ -1,16 +1,31 @@
 (** Concurrent-history recording for linearizability checking.
 
     Process code wraps each high-level operation with {!wrap}; the
-    recorder timestamps the operation's interval in global statement
-    indices (via {!Hwf_sim.Eff.now}, which costs no statements) and
-    stores the operation descriptor and its observed result. *)
+    recorder timestamps the operation's interval in {e per-processor}
+    statement counts (via {!Hwf_sim.Eff.stamp}, which costs no
+    statements) and stores the operation descriptor and its observed
+    result.
+
+    Per-processor timestamps order two operations only when they ran on
+    the same processor; cross-processor intervals are incomparable and a
+    checker must treat them as concurrent. This is deliberately weaker
+    than the real-time order of the run — and exactly as strong as what
+    survives partial-order reduction: the explorer's pruning
+    ({!Hwf_adversary.Explore}) commutes independent statements of
+    different processors, which preserves every per-processor count but
+    not the global clock. Recording through {!Hwf_sim.Eff.now} would
+    taint the run and disable pruning; recording through
+    {!Hwf_sim.Eff.stamp} keeps it prunable. On a uniprocessor the two
+    coincide (one processor's count {e is} the global count), so
+    uniprocessor verdicts are unchanged. *)
 
 type ('op, 'r) entry = {
   pid : int;
   op : 'op;
   result : 'r;
-  t0 : int;  (** Statement count just before the first statement. *)
-  t1 : int;  (** Statement count just after the last statement. *)
+  proc : int;  (** Processor the operation ran on. *)
+  t0 : int;  (** [proc]'s statement count just before the first statement. *)
+  t1 : int;  (** [proc]'s statement count just after the last statement. *)
 }
 
 type ('op, 'r) t
@@ -25,12 +40,13 @@ val wrap : ('op, 'r) t -> pid:int -> 'op -> (unit -> 'r) -> 'r
 val entries : ('op, 'r) t -> ('op, 'r) entry list
 (** In completion order. Harness use (after the run). *)
 
-val pending : ('op, 'r) t -> (int * 'op * int) list
-(** [(pid, op, t0)] for operations begun by {!wrap} but never completed
-    — the process crashed or was parked mid-operation. Their effects may
-    or may not be visible to other processes, so a linearizability
-    checker must treat each as optionally taking effect anywhere after
-    [t0] (see {!Lincheck.check_with_pending}). In start order. *)
+val pending : ('op, 'r) t -> (int * 'op * int * int) list
+(** [(pid, op, proc, t0)] for operations begun by {!wrap} but never
+    completed — the process crashed or was parked mid-operation. Their
+    effects may or may not be visible to other processes, so a
+    linearizability checker must treat each as optionally taking effect
+    anywhere after [t0] (see {!Lincheck.check_with_pending}). In start
+    order. *)
 
 val pp :
   op:'op Fmt.t -> result:'r Fmt.t -> ('op, 'r) t Fmt.t

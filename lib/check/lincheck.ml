@@ -71,8 +71,13 @@ let check spec entries =
           let e = entries.(i) in
           let mask = ref 0 in
           for j = 0 to n - 1 do
-            if j <> i && entries.(j).Hist.t1 <= e.Hist.t0 then
-              mask := !mask lor (1 lsl j)
+            (* Per-processor timestamps order intervals only within one
+               processor; cross-processor operations are concurrent. *)
+            if
+              j <> i
+              && entries.(j).Hist.proc = e.Hist.proc
+              && entries.(j).Hist.t1 <= e.Hist.t0
+            then mask := !mask lor (1 lsl j)
           done;
           !mask)
     in
@@ -100,24 +105,25 @@ let check_with_pending spec entries ~pending =
       Array.init n (fun i ->
           if i < nc then completed.(i).Hist.op
           else
-            let _, op, _ = pend.(i - nc) in
+            let _, op, _, _ = pend.(i - nc) in
             op)
     in
     let results =
       Array.init n (fun i -> if i < nc then Some completed.(i).Hist.result else None)
     in
-    let t0 i =
-      if i < nc then completed.(i).Hist.t0
+    let start i =
+      if i < nc then (completed.(i).Hist.proc, completed.(i).Hist.t0)
       else
-        let _, _, t0 = pend.(i - nc) in
-        t0
+        let _, _, proc, t0 = pend.(i - nc) in
+        (proc, t0)
     in
     let precede =
       Array.init n (fun i ->
-          let start = t0 i in
+          let proc, t0 = start i in
           let mask = ref 0 in
           for j = 0 to nc - 1 do
-            if j <> i && completed.(j).Hist.t1 <= start then mask := !mask lor (1 lsl j)
+            if j <> i && completed.(j).Hist.proc = proc && completed.(j).Hist.t1 <= t0
+            then mask := !mask lor (1 lsl j)
           done;
           !mask)
     in

@@ -2,10 +2,21 @@
 
     Decides whether a recorded concurrent history is linearizable with
     respect to a sequential specification: is there a total order of the
-    completed operations that (a) respects real-time precedence
-    (operation [a] precedes [b] whenever [a.t1 <= b.t0]) and (b) replays
-    through the spec with every operation producing exactly the result
-    it returned in the concurrent run?
+    completed operations that (a) respects observable precedence
+    (operation [a] precedes [b] whenever both ran on the same processor
+    and [a.t1 <= b.t0] in that processor's statement count) and (b)
+    replays through the spec with every operation producing exactly the
+    result it returned in the concurrent run?
+
+    Precedence is per-processor because {!Hist} timestamps are
+    ({!Hwf_sim.Eff.stamp}): cross-processor intervals are incomparable,
+    so they constrain nothing. This weakening is sound (it can only
+    admit more witness orders than real time would) and is exactly the
+    order that survives partial-order reduction — commuting independent
+    cross-processor statements preserves every per-processor count, so
+    the verdict is a trace invariant and pruned exploration can rely on
+    it. On a uniprocessor the per-processor count is the global count
+    and the classical real-time check is recovered unchanged.
 
     The search memoizes on (set of linearized ops, spec state), which
     keeps the small histories used by the test suites tractable. Spec
@@ -24,16 +35,17 @@ val check_hist : ('op, 'r) spec -> ('op, 'r) Hist.t -> (unit, string) result
 val check_with_pending :
   ('op, 'r) spec ->
   ('op, 'r) Hist.entry list ->
-  pending:(int * 'op * int) list ->
+  pending:(int * 'op * int * int) list ->
   (unit, string) result
 (** Like {!check}, but tolerant of {e pending} operations: ops that were
-    started (at statement count [t0]) by a process that crashed before
-    returning. A crashed process may have taken effect on shared memory
-    before halting, so each pending op may be linearized at any point
-    after [t0] — with an unconstrained result, since none was observed —
-    or omitted entirely. The history is accepted iff some such choice
-    makes the completed operations linearizable. [pending] elements are
-    [(pid, op, t0)] as returned by {!Hist.pending}. *)
+    started (on processor [proc] at its statement count [t0]) by a
+    process that crashed before returning. A crashed process may have
+    taken effect on shared memory before halting, so each pending op may
+    be linearized at any point after [t0] — with an unconstrained
+    result, since none was observed — or omitted entirely. The history
+    is accepted iff some such choice makes the completed operations
+    linearizable. [pending] elements are [(pid, op, proc, t0)] as
+    returned by {!Hist.pending}. *)
 
 val check_hist_with_pending :
   ('op, 'r) spec -> ('op, 'r) Hist.t -> (unit, string) result

@@ -1,0 +1,110 @@
+(** The static independence oracle and its differential certifier.
+
+    The baseline relation ({!Hwf_sim.Policy.independent}) treats every
+    same-variable pair with a write as dependent. That forfeits the
+    classic commuting case: two fetch&adds on one counter commute as
+    state updates — addition is commutative — and differ only in the
+    old values they fetch. When the fetched value demonstrably steers
+    nothing, the pair is independent in the Mazurkiewicz sense and the
+    explorer ({!Hwf_adversary.Explore}) may prune one of the two
+    orders.
+
+    {b The oracle.} [build] derives, from a linter outcome (the
+    schedule-battery replays of {!Lint.run}), the set of
+    {e result-insensitive} RMW nodes: RMW statements whose per-process
+    successor sequence is identical across every replay of the battery,
+    for processes whose replays were never truncated. (Sequence
+    equality per replay, not unique-successor over the merged CFG:
+    straight-line repetition — two consecutive F&As — gives the merged
+    node the successor set [{itself, next}] while remaining perfectly
+    insensitive.) The derived {!relation} extends the baseline with:
+    both footprints known, different processors, both next statements
+    RMWs on the same variable with {e additive} kinds ([F&A]/[F&I] —
+    cross-kind allowed, addition commutes), and both nodes
+    result-insensitive.
+
+    {b Soundness argument.} Commuting the updates preserves the final
+    store (addition is commutative and each RMW is atomic); preserving
+    downstream {e control} is what replay-invariant successors witness —
+    the battery varies the interleavings and hence the fetched values,
+    so a value that steered control would have produced diverging
+    successors in some replay. Two escapes remain, both dynamic: the
+    battery replays at most a dozen schedules, so every replay may
+    happen to fetch values that agree on a hidden branch; and a
+    control-insensitive fetched value can still escape as {e data} into
+    a harness verdict. Both change a verdict or a per-process event
+    sequence under reordering — which is what the certifier checks, so
+    the oracle is only armed through {!certified_relation}.
+
+    {b The certifier.} [certify] records deterministic schedules with
+    per-decision footprints, and for each adjacent decision pair the
+    relation claims independent, replays the schedule with the two
+    decisions transposed (strict {!Hwf_sim.Policy.scripted} — a stalled
+    replay is itself a failure) and requires the same verdict and
+    per-process event sequences identical up to the interleaving. Any
+    discrepancy refutes the independence claim and must be treated as a
+    hard error. *)
+
+open Hwf_sim
+
+type t
+(** The oracle: result-insensitive RMW nodes plus summary counts. *)
+
+type summary = {
+  rmw_nodes : int;  (** Distinct (pid, RMW node) pairs observed. *)
+  insensitive_nodes : int;  (** Of those, proven result-insensitive. *)
+  indep_vars : string list;
+      (** Variables carrying additive-only RMW traffic with at least one
+          insensitive node — the variables the relation can commute on. *)
+  indep_pairs : int;
+      (** Unordered node pairs proven independent beyond the baseline. *)
+}
+
+val build : Lint.outcome -> t
+(** Derive the oracle from a linter outcome. Pure static pass: no runs
+    are performed. *)
+
+val summary : t -> summary
+
+val insensitive : t -> Proc.pid -> Op.t -> bool
+(** Is this pid's node for [op] result-insensitive (replay-invariant
+    successor sequence across the battery, untruncated pid)? *)
+
+val relation : t -> Policy.relation
+(** The extended independence judgement. Symmetric; [false] whenever in
+    doubt; at least as strong as {!Policy.independent}. Do not feed it
+    to an explorer without certification — use {!certified_relation}. *)
+
+type certification = {
+  schedules : int;  (** Deterministic schedules recorded. *)
+  swaps : int;  (** Adjacent transpositions replayed. *)
+  failures : string list;
+      (** Human-readable refutations; empty iff certified. *)
+}
+
+val certify :
+  ?max_swaps:int ->
+  ?check:(Engine.result -> (unit, string) result) ->
+  config:Config.t ->
+  make:(unit -> (unit -> unit) array) ->
+  t ->
+  certification
+(** Differentially certify the oracle on a workload: [make] must build
+    fresh programs per call (same contract as {!Lint.spec.make}), and
+    [check] is the harness verdict that must be invariant under claimed
+    commutations (default: always [Ok]). [max_swaps] (default 64) caps
+    replay cost; distinct node pairs are certified once per schedule. *)
+
+val certified_relation :
+  ?max_swaps:int ->
+  ?check:(Engine.result -> (unit, string) result) ->
+  config:Config.t ->
+  make:(unit -> (unit -> unit) array) ->
+  Lint.outcome ->
+  (t * certification, string) result
+(** [build] then [certify]; [Error] carries the first refutation and is
+    a hard error — the workload's battery produced an unsound
+    independence claim, so the oracle must not be used. *)
+
+val pp_summary : summary Fmt.t
+val pp_certification : certification Fmt.t

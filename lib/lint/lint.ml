@@ -14,6 +14,7 @@ type spec = {
 type outcome = {
   spec : spec;
   runs : int;
+  runs_detail : Recorder.run list;
   store : Astore.t;
   cfg : Cfg.t;
   findings : Checks.finding list;
@@ -33,7 +34,7 @@ let run ?budget spec =
         ~theorem:spec.theorem ~config:spec.config cfg
     @ Checks.priority runs
   in
-  { spec; runs = List.length runs; store; cfg; findings }
+  { spec; runs = List.length runs; runs_detail = runs; store; cfg; findings }
 
 let errors o =
   List.filter (fun (f : Checks.finding) -> f.Checks.severity = Checks.Error) o.findings

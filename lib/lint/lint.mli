@@ -30,6 +30,9 @@ type spec = {
 type outcome = {
   spec : spec;
   runs : int;  (** Replays performed (the consumed branch budget). *)
+  runs_detail : Recorder.run list;
+      (** The raw replays the store/CFG were folded from — kept so
+          downstream passes ({!Indep}) can revisit the per-run events. *)
   store : Astore.t;
   cfg : Cfg.t;
   findings : Checks.finding list;

@@ -33,6 +33,7 @@ let obj fields =
 let trace_schema = "hwf-trace/1"
 let metrics_schema = "hwf-metrics/1"
 let lint_schema = "hwf-lint/1"
+let analyze_schema = "hwf-analyze/1"
 
 let config_fields (config : Config.t) =
   [
@@ -185,6 +186,44 @@ let metrics_to_string m =
   metrics_to_buffer buf m;
   Buffer.contents buf
 
+(* ---- analyze (race certification) ---- *)
+
+let races_to_buffer buf ~config (r : Races.report) =
+  let line fields =
+    Buffer.add_string buf (obj fields);
+    Buffer.add_char buf '\n'
+  in
+  line (("schema", str analyze_schema) :: config_fields config);
+  List.iter
+    (fun (race : Races.race) ->
+      line
+        [
+          ("a", str "race");
+          ("var", str race.Races.var);
+          ("pid", string_of_int race.Races.pid);
+          ("idx", string_of_int race.Races.idx);
+          ("op", op_json race.Races.op);
+          ("prior_pid", string_of_int race.Races.prior_pid);
+          ("prior_access", str (Races.access_tag race.Races.prior_access));
+          ("prior_idx", string_of_int race.Races.prior_idx);
+        ])
+    r.Races.races;
+  line
+    [
+      ("a", str "summary");
+      ("statements", string_of_int r.Races.statements);
+      ("accesses", string_of_int r.Races.accesses);
+      ("vars", string_of_int r.Races.vars);
+      ("races", string_of_int (Races.count r));
+      ( "racy_vars",
+        "[" ^ String.concat "," (List.map str r.Races.racy_vars) ^ "]" );
+    ]
+
+let races_to_string ~config r =
+  let buf = Buffer.create 1024 in
+  races_to_buffer buf ~config r;
+  Buffer.contents buf
+
 let write_file path contents =
   let oc = open_out path in
   Fun.protect
@@ -193,3 +232,4 @@ let write_file path contents =
 
 let write_trace ~path trace = write_file path (trace_to_string trace)
 let write_metrics ~path m = write_file path (metrics_to_string m)
+let write_races ~path ~config r = write_file path (races_to_string ~config r)

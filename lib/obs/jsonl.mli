@@ -23,6 +23,10 @@ val lint_schema : string
     ([Hwf_lint.Report]); the schema constant lives here so every JSONL
     schema tag has one home. *)
 
+val analyze_schema : string
+(** ["hwf-analyze/1"] — race-certification reports ({!Races}, the
+    [hybridsim analyze] subcommand). *)
+
 (** {1 Emission helpers}
 
     Shared by the writers in this module and by other JSONL producers
@@ -50,7 +54,15 @@ val metrics_to_string : Metrics.t -> string
     ["m"] field. Bound rows without a bound omit the [bound]/[margin]
     fields. *)
 
+val races_to_string : config:Config.t -> Races.report -> string
+(** [hwf-analyze/1]: header line (schema + configuration), one ["a":
+    "race"] line per deduplicated race in trace order, then one
+    ["a": "summary"] line with totals and the sorted racy-variable
+    list. Deterministic bytes for a given trace. *)
+
 val write_trace : path:string -> Trace.t -> unit
 (** [trace_to_string] to [path] (truncating). *)
 
 val write_metrics : path:string -> Metrics.t -> unit
+
+val write_races : path:string -> config:Config.t -> Races.report -> unit

@@ -62,7 +62,13 @@ type acc = {
   mutable inv_same : int;
   mutable inv_higher : int;
   mutable gap : [ `None | `Same | `Higher ];
-  mutable pending : bool;
+      (* explicitly flushed classification (only a Set_priority mid-gap
+         forces a flush); the live gap is carried by [synced] below *)
+  mutable pending : bool;  (* flushed preemption flag, same deal *)
+  mutable synced : int;
+      (* processor statement count when this pid's window last reset
+         (own statement, invocation close, Inv_begin, priority change);
+         statements on the processor past it are foreign to this pid *)
   mutable guarantee : int;
   (* running per-pid totals *)
   mutable statements : int;
@@ -86,6 +92,12 @@ type collector = {
       (* last pid to execute on each processor: a switch is a change of
          running process on one processor, so cross-processor
          interleaving must not count *)
+  pcount : int array;  (* statements executed per processor *)
+  last_at : int array array;
+      (* [last_at.(pr).(v)]: the [pcount] stamp of the most recent
+         statement executed on processor [pr] at priority [v] — how a
+         pid resolves its preemption class in O(levels) at its own next
+         statement instead of an O(N) peer broadcast per statement *)
   mutable closed : inv_stat list;  (* reverse close order *)
 }
 
@@ -106,6 +118,7 @@ let collector config =
             inv_higher = 0;
             gap = `None;
             pending = false;
+            synced = 0;
             guarantee = 0;
             statements = 0;
             time = 0;
@@ -121,8 +134,29 @@ let collector config =
     c_time = 0;
     c_switches = 0;
     last_on = Array.make config.Config.processors (-1);
+    pcount = Array.make config.Config.processors 0;
+    last_at =
+      Array.init config.Config.processors (fun _ ->
+          Array.make (config.Config.levels + 1) 0);
     closed = [];
   }
+
+(* The live (unflushed) window state for [pid] on its processor [pr]:
+   any foreign statement since the window reset, and whether one ran at
+   a strictly higher priority than [pid]'s current one. *)
+let window_any c pr (a : acc) = c.pcount.(pr) > a.synced
+
+let window_higher c pr (a : acc) =
+  let la = c.last_at.(pr) in
+  let levels = Array.length la - 1 in
+  let rec go v = v <= levels && (la.(v) > a.synced || go (v + 1)) in
+  go (a.priority + 1)
+
+let combine_gap g1 g2 =
+  match (g1, g2) with
+  | `Higher, _ | _, `Higher -> `Higher
+  | `Same, _ | _, `Same -> `Same
+  | `None, `None -> `None
 
 let close_inv c pid completed =
   let a = c.accs.(pid) in
@@ -142,6 +176,7 @@ let close_inv c pid completed =
     if completed then a.completed <- a.completed + 1;
     a.open_ <- false;
     a.pending <- false;
+    a.synced <- c.pcount.(c.config.Config.procs.(pid).Proc.processor);
     a.guarantee <- 0
   end
 
@@ -150,16 +185,19 @@ let close_inv c pid completed =
    build a [Trace.Stmt] record just to have it destructured here. *)
 let feed_stmt c ~idx:_ ~pid ~op:_ ~inv:_ ~cost =
   let config = c.config in
-  let n = Array.length c.accs in
-  let processor pid = config.Config.procs.(pid).Proc.processor in
-  let pr = processor pid in
+  let pr = config.Config.procs.(pid).Proc.processor in
   if c.last_on.(pr) >= 0 && c.last_on.(pr) <> pid then
     c.c_switches <- c.c_switches + 1;
   c.last_on.(pr) <- pid;
   c.c_statements <- c.c_statements + 1;
   c.c_time <- c.c_time + cost;
   let a = c.accs.(pid) in
-  if a.pending then begin
+  (* Resolve this pid's window: foreign statements on its processor
+     since its last reset. (A preemption flag can only be raised while
+     the invocation is open, and closing resets the window, so
+     [a.open_] here certifies the whole window ran open.) *)
+  let foreign = window_any c pr a in
+  if a.pending || (a.open_ && foreign) then begin
     a.pending <- false;
     a.grants <- a.grants + 1;
     a.guarantee <- config.Config.quantum
@@ -169,7 +207,17 @@ let feed_stmt c ~idx:_ ~pid ~op:_ ~inv:_ ~cost =
   a.statements <- a.statements + 1;
   a.time <- a.time + cost;
   if a.open_ then begin
-    (match a.gap with
+    let gap =
+      if a.inv_statements = 0 then `None
+        (* a gap is a hole between two statements of one invocation;
+           foreign statements before the first are not preemptions *)
+      else
+        combine_gap a.gap
+          (if not foreign then `None
+           else if window_higher c pr a then `Higher
+           else `Same)
+    in
+    (match gap with
     | `None -> ()
     | `Same ->
       a.inv_same <- a.inv_same + 1;
@@ -181,19 +229,14 @@ let feed_stmt c ~idx:_ ~pid ~op:_ ~inv:_ ~cost =
     a.inv_statements <- a.inv_statements + 1;
     a.inv_time <- a.inv_time + cost
   end;
-  for q = 0 to n - 1 do
-    if q <> pid && processor q = processor pid then begin
-      let b = c.accs.(q) in
-      if b.open_ then b.pending <- true;
-      if b.open_ && b.inv_statements > 0 then begin
-        let cls = if a.priority > b.priority then `Higher else `Same in
-        match (b.gap, cls) with
-        | `Higher, _ -> ()
-        | _, `Higher -> b.gap <- `Higher
-        | _, `Same -> b.gap <- `Same
-      end
-    end
-  done
+  (* Publish this statement to the processor's board and reset our own
+     window past it: O(1) per statement where the broadcast loop was
+     O(N) in same-processor peers. *)
+  let stamp = c.pcount.(pr) + 1 in
+  c.pcount.(pr) <- stamp;
+  let la = c.last_at.(pr) in
+  if a.priority >= 0 && a.priority < Array.length la then la.(a.priority) <- stamp;
+  a.synced <- stamp
 
 let feed c (e : Trace.event) =
   match e with
@@ -207,11 +250,23 @@ let feed c (e : Trace.event) =
     a.inv_same <- 0;
     a.inv_higher <- 0;
     a.gap <- `None;
+    a.synced <- c.pcount.(c.config.Config.procs.(pid).Proc.processor);
     a.invocations <- a.invocations + 1
   | Trace.Inv_end { pid; _ } -> close_inv c pid true
   | Trace.Note _ -> ()
   | Trace.Set_priority { pid; priority } ->
     let a = c.accs.(pid) in
+    (* The window is classified against the priority the pid held while
+       the foreign statements ran: flush it under the old priority
+       before switching (rare — one flush per priority change). *)
+    let pr = c.config.Config.procs.(pid).Proc.processor in
+    if a.open_ && window_any c pr a then begin
+      a.pending <- true;
+      if a.inv_statements > 0 then
+        a.gap <-
+          combine_gap a.gap (if window_higher c pr a then `Higher else `Same)
+    end;
+    a.synced <- c.pcount.(pr);
     a.priority <- priority;
     a.priority_changes <- a.priority_changes + 1
   | Trace.Axiom2_gate { active; _ } ->

@@ -1,0 +1,186 @@
+open Hwf_sim
+
+(* Happens-before race certification over recorded traces.
+
+   Vector clocks, FastTrack-shaped per-variable state. The
+   happens-before order is deliberately sparse:
+
+   - per-process program order, and
+   - RMW statements synchronize per variable (release into the
+     variable's clock on every RMW, acquire from it before the check) —
+     an RMW is the model's only synchronization primitive, so two RMWs
+     on one variable never race, like lock-protected critical sections.
+
+   Same-processor interleaving order is deliberately NOT part of
+   happens-before: the scheduler serializes same-processor statements,
+   but which order it picks is nondeterministic, so two conflicting
+   plain accesses from different processes race even on a uniprocessor
+   — the schedule that exposes the bug merely hasn't been picked yet.
+   Including scheduler order would certify uniprocessor traces
+   race-free by construction, which is exactly the false negative this
+   pass exists to rule out. *)
+
+type access = Read | Write | Update
+
+let access_tag = function Read -> "r" | Write -> "w" | Update -> "u"
+
+type race = {
+  var : string;
+  pid : Proc.pid;
+  op : Op.t;
+  idx : int;
+  prior_pid : Proc.pid;
+  prior_access : access;
+  prior_idx : int;
+}
+
+type report = {
+  n : int;
+  statements : int;
+  accesses : int;
+  vars : int;
+  races : race list;
+  racy_vars : string list;
+}
+
+type var_state = {
+  lock : int array;  (* release clock: join of every RMW's clock *)
+  last_w : int array;  (* epoch of each pid's last write/update *)
+  last_w_idx : int array;
+  last_w_access : access array;
+  last_r : int array;  (* epoch of each pid's last plain read *)
+  last_r_idx : int array;
+}
+
+let of_trace trace =
+  let config = Trace.config trace in
+  let n = Config.n config in
+  let vc = Array.init n (fun _ -> Array.make n 0) in
+  let vars : (string, var_state) Hashtbl.t = Hashtbl.create 16 in
+  let var_order = ref [] in
+  let state var =
+    match Hashtbl.find_opt vars var with
+    | Some s -> s
+    | None ->
+      let s =
+        {
+          lock = Array.make n 0;
+          last_w = Array.make n 0;
+          last_w_idx = Array.make n (-1);
+          last_w_access = Array.make n Write;
+          last_r = Array.make n 0;
+          last_r_idx = Array.make n (-1);
+        }
+      in
+      Hashtbl.add vars var s;
+      var_order := var :: !var_order;
+      s
+  in
+  let races = ref [] in
+  let reported = Hashtbl.create 16 in
+  let accesses = ref 0 in
+  let report ~var ~pid ~op ~idx ~prior_pid ~prior_access ~prior_idx =
+    (* One report per (var, pid pair, prior kind): each further
+       occurrence is the same bug. *)
+    let key = (var, min pid prior_pid, max pid prior_pid, prior_access) in
+    if not (Hashtbl.mem reported key) then begin
+      Hashtbl.add reported key ();
+      races :=
+        { var; pid; op; idx; prior_pid; prior_access; prior_idx } :: !races
+    end
+  in
+  let check_writes s ~var ~pid ~op ~idx =
+    Array.iteri
+      (fun q epoch ->
+        if q <> pid && epoch > vc.(pid).(q) then
+          report ~var ~pid ~op ~idx ~prior_pid:q
+            ~prior_access:s.last_w_access.(q) ~prior_idx:s.last_w_idx.(q))
+      s.last_w
+  in
+  let check_reads s ~var ~pid ~op ~idx =
+    Array.iteri
+      (fun q epoch ->
+        if q <> pid && epoch > vc.(pid).(q) then
+          report ~var ~pid ~op ~idx ~prior_pid:q ~prior_access:Read
+            ~prior_idx:s.last_r_idx.(q))
+      s.last_r
+  in
+  Trace.iter
+    (fun ev ->
+      match ev with
+      | Trace.Stmt { idx; pid; op; _ } when pid >= 0 && pid < n -> (
+        let me = vc.(pid) in
+        match op with
+        | Op.Read var ->
+          incr accesses;
+          me.(pid) <- me.(pid) + 1;
+          let s = state var in
+          check_writes s ~var ~pid ~op ~idx;
+          s.last_r.(pid) <- me.(pid);
+          s.last_r_idx.(pid) <- idx
+        | Op.Write var ->
+          incr accesses;
+          me.(pid) <- me.(pid) + 1;
+          let s = state var in
+          check_writes s ~var ~pid ~op ~idx;
+          check_reads s ~var ~pid ~op ~idx;
+          s.last_w.(pid) <- me.(pid);
+          s.last_w_idx.(pid) <- idx;
+          s.last_w_access.(pid) <- Write
+        | Op.Rmw { var; _ } ->
+          incr accesses;
+          me.(pid) <- me.(pid) + 1;
+          let s = state var in
+          (* Acquire first: epochs released by earlier RMWs drop below
+             the joined clock, so only unsynchronized (plain) accesses
+             survive the checks — RMW/RMW pairs never race. *)
+          for q = 0 to n - 1 do
+            if s.lock.(q) > me.(q) then me.(q) <- s.lock.(q)
+          done;
+          check_writes s ~var ~pid ~op ~idx;
+          check_reads s ~var ~pid ~op ~idx;
+          s.last_w.(pid) <- me.(pid);
+          s.last_w_idx.(pid) <- idx;
+          s.last_w_access.(pid) <- Update;
+          (* Release. *)
+          Array.blit me 0 s.lock 0 n
+        | Op.Local _ -> ())
+      | _ -> ())
+    trace;
+  let races = List.rev !races in
+  let racy_vars =
+    List.sort_uniq String.compare (List.map (fun r -> r.var) races)
+  in
+  {
+    n;
+    statements = Trace.statements trace;
+    accesses = !accesses;
+    vars = Hashtbl.length vars;
+    races;
+    racy_vars;
+  }
+
+let racy r = r.races <> []
+let count r = List.length r.races
+
+let pp_race ppf r =
+  Fmt.pf ppf "race on %s: p%d %a @@%d vs p%d %s @@%d" r.var (r.pid + 1) Op.pp
+    r.op r.idx (r.prior_pid + 1)
+    (match r.prior_access with
+    | Read -> "read"
+    | Write -> "write"
+    | Update -> "update")
+    r.prior_idx
+
+let pp_report ppf r =
+  if r.races = [] then
+    Fmt.pf ppf "no races: %d accesses over %d vars, %d statements" r.accesses
+      r.vars r.statements
+  else
+    Fmt.pf ppf "@[<v>%d race%s on %a (%d accesses over %d vars):@,%a@]"
+      (List.length r.races)
+      (if List.length r.races = 1 then "" else "s")
+      Fmt.(list ~sep:comma string)
+      r.racy_vars r.accesses r.vars
+      Fmt.(list ~sep:(any "@,") pp_race)
+      r.races

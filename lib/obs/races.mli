@@ -1,0 +1,68 @@
+(** Happens-before race certification over recorded traces.
+
+    A vector-clock pass ({!of_trace}) over one execution history that
+    flags pairs of conflicting plain accesses unordered by
+    happens-before. The happens-before order is deliberately sparse:
+
+    - {b program order} within each process, and
+    - {b RMW synchronization} per variable: every RMW releases its
+      clock into the variable and acquires the variable's clock first,
+      so two RMWs on one variable never race — an RMW is the model's
+      only synchronization primitive, the analogue of a lock-protected
+      section.
+
+    Same-{e processor} interleaving order is {e not} happens-before:
+    the scheduler serializes same-processor statements, but which
+    serialization it picks is nondeterministic, so two conflicting
+    plain accesses from different processes race even on a
+    uniprocessor. Including scheduler order would certify uniprocessor
+    traces race-free by construction — the false negative this pass
+    exists to rule out.
+
+    A reported race is therefore schedule-{e in}dependent evidence: some
+    legal schedule orders the two accesses the other way with no
+    intervening synchronization. The pass also serves as the dynamic
+    backstop of the static independence oracle ([Hwf_lint.Indep]):
+    racy variables are exactly the ones whose access pairs must never
+    be claimed independent without RMW mediation.
+
+    Exported as [hwf-analyze/1] JSONL via {!Jsonl.races_to_string}. *)
+
+open Hwf_sim
+
+type access = Read | Write | Update  (** [Update] = RMW. *)
+
+val access_tag : access -> string
+(** ["r"], ["w"], ["u"] — the JSONL encoding. *)
+
+type race = {
+  var : string;
+  pid : Proc.pid;  (** The later access. *)
+  op : Op.t;
+  idx : int;  (** Statement index of the later access. *)
+  prior_pid : Proc.pid;
+  prior_access : access;
+  prior_idx : int;  (** [-1] when the prior epoch predates recording. *)
+}
+
+type report = {
+  n : int;  (** Process count of the trace's configuration. *)
+  statements : int;
+  accesses : int;  (** Shared-variable statements examined. *)
+  vars : int;  (** Distinct shared variables touched. *)
+  races : race list;
+      (** In trace order, deduplicated per (variable, process pair,
+          prior access kind). *)
+  racy_vars : string list;  (** Sorted. *)
+}
+
+val of_trace : Trace.t -> report
+(** One forward pass, O(statements * n). *)
+
+val racy : report -> bool
+
+val count : report -> int
+(** [List.length report.races]. *)
+
+val pp_race : race Fmt.t
+val pp_report : report Fmt.t

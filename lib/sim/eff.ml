@@ -4,6 +4,7 @@ type _ Effect.t +=
   | Inv_end : string -> unit Effect.t
   | Note : string -> unit Effect.t
   | Now : int Effect.t
+  | Stamp : (int * int) Effect.t
   | Set_priority : int -> unit Effect.t
 
 let step op = Effect.perform (Step op)
@@ -17,4 +18,5 @@ let invocation label body =
 
 let note s = Effect.perform (Note s)
 let now () = Effect.perform Now
+let stamp () = Effect.perform Stamp
 let set_priority p = Effect.perform (Set_priority p)

@@ -30,7 +30,26 @@ val note : string -> unit
 
 val now : unit -> int
 (** The global statement count so far. Zero-cost (not a statement); used
-    by history recorders to timestamp operation intervals. *)
+    by history recorders to timestamp operation intervals.
+
+    Reading the global clock makes the run schedule-sensitive: commuting
+    two independent statements of {e other} processes changes the value
+    returned here, so partial-order pruning must treat a [now]-reading
+    run as tainted (see {!Explore}). Prefer {!stamp} for history
+    timestamps. *)
+
+val stamp : unit -> int * int
+(** [(processor, count)] — the calling process's processor and the
+    number of statements executed {e on that processor} so far.
+    Zero-cost (not a statement).
+
+    Unlike {!now}, this order is stable under partial-order reduction:
+    statements on the same processor never commute (the scheduler's
+    per-processor accounting orders them), so the per-processor count is
+    invariant under every reordering of independent statements that
+    DPOR considers equivalent. Two stamps are ordered only when they
+    share a processor; history checkers must treat stamps on different
+    processors as concurrent. *)
 
 val set_priority : int -> unit
 (** Change the calling process's priority (Sec. 5: dynamic priorities).
@@ -49,4 +68,5 @@ type _ Effect.t +=
   | Inv_end : string -> unit Effect.t
   | Note : string -> unit Effect.t
   | Now : int Effect.t
+  | Stamp : (int * int) Effect.t
   | Set_priority : int -> unit Effect.t

@@ -412,6 +412,13 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer ?sink
     resume k (Trace.statements trace)
   in
   let now_some = Some now_fn in
+  let stamp_fn (k : (int * int, unit) continuation) =
+    Runtime.exit_process ();
+    Trace.count_stamp trace;
+    let proc = !cur.info.processor in
+    resume k (proc, proc_stmts.(proc))
+  in
+  let stamp_some = Some stamp_fn in
   let set_priority_fn (k : (unit, unit) continuation) =
     Runtime.exit_process ();
     let p = !stash_level in
@@ -478,6 +485,7 @@ let run ?(step_limit = 1_000_000) ?cost ?halted ?axiom2_active ?observer ?sink
             stash_str := text;
             note_some
           | Eff.Now -> now_some
+          | Eff.Stamp -> stamp_some
           | Eff.Set_priority p ->
             stash_level := p;
             set_priority_some

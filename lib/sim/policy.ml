@@ -147,6 +147,7 @@ type footprint = {
   fvar : string option;
   fwrite : bool;
   fknown : bool;
+  fop : Op.t option;
 }
 
 let footprint (view : view) pid =
@@ -160,9 +161,18 @@ let footprint (view : view) pid =
       | Op.Rmw { var; _ } -> (Some var, true)
       | Op.Local _ -> (None, false)
     in
-    { fpid = pid; fproc = pv.processor; fvar; fwrite; fknown = true }
+    { fpid = pid; fproc = pv.processor; fvar; fwrite; fknown = true; fop = Some op }
   | _ ->
-    { fpid = pid; fproc = pv.processor; fvar = None; fwrite = true; fknown = false }
+    {
+      fpid = pid;
+      fproc = pv.processor;
+      fvar = None;
+      fwrite = true;
+      fknown = false;
+      fop = None;
+    }
+
+type relation = footprint -> footprint -> bool
 
 let independent a b =
   a.fknown && b.fknown

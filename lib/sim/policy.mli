@@ -132,11 +132,22 @@ type footprint = {
   fvar : string option;  (** Shared variable touched next, if any. *)
   fwrite : bool;
   fknown : bool;  (** Footprint known? unknown => conservatively dependent. *)
+  fop : Op.t option;  (** The next statement itself, when known — richer
+      relations (commuting RMWs) need the operation, not just the
+      variable/write summary. *)
 }
 
 val footprint : view -> Proc.pid -> footprint
 (** Footprint of one candidate at the current decision point. *)
 
+type relation = footprint -> footprint -> bool
+(** An independence judgement: [r a b = true] claims executing [a] and
+    [b] in either order yields the same engine state {e and} the same
+    downstream behaviour. Must be symmetric and [false] whenever in
+    doubt. {!independent} is the baseline; [Hwf_lint.Indep] derives
+    stronger (still sound) relations from static analysis. *)
+
 val independent : footprint -> footprint -> bool
-(** Sound independence judgement over two footprints ([false] when in
-    doubt). *)
+(** Sound baseline independence judgement over two footprints ([false]
+    when in doubt): different processors and no same-variable conflict
+    (same shared variable with at least one write). *)

@@ -44,6 +44,7 @@ type t = {
   mutable time : int;
   own : int array;  (* per-pid statement counts, maintained incrementally *)
   mutable now_reads : int;
+  mutable stamp_reads : int;
   (* Observer sink, split per event class so the statement hot path
      passes fields instead of allocating an event record. Always
      callable: when nothing is installed both are no-ops, so the append
@@ -70,6 +71,7 @@ let create config =
     time = 0;
     own = Array.make (Config.n config) 0;
     now_reads = 0;
+    stamp_reads = 0;
     on_stmt = no_stmt;
     on_event = no_event;
     observed = false;
@@ -90,11 +92,16 @@ let reset t =
   t.time <- 0;
   Array.fill t.own 0 (Array.length t.own) 0;
   t.now_reads <- 0;
+  t.stamp_reads <- 0;
   clear_observer t
 
 let count_now t = t.now_reads <- t.now_reads + 1
 
 let now_reads t = t.now_reads
+
+let count_stamp t = t.stamp_reads <- t.stamp_reads + 1
+
+let stamp_reads t = t.stamp_reads
 
 let config t = t.config
 

@@ -130,6 +130,19 @@ val now_reads : t -> int
     only for runs that never read global state outside their [Shared]
     footprints; [now_reads > 0] is the taint signal that disables it. *)
 
+val count_stamp : t -> unit
+(** Engine-internal: record that the running program observed its
+    per-processor timestamp ([Eff.stamp]). Not an event — a plain
+    counter. *)
+
+val stamp_reads : t -> int
+(** How many times the run observed a per-processor timestamp. Unlike
+    {!now_reads} this does {e not} taint partial-order pruning: the
+    per-processor statement count is invariant under commutation of
+    independent statements (same-processor statements never commute),
+    so a stamp-reading run stays prunable. Counted for observability
+    only. *)
+
 val pp_event : event Fmt.t
 
 val pp : t Fmt.t

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # JSONL schema sanity check for the hwf-trace/1, hwf-metrics/1,
-# hwf-lint/1 and hwf-ckpt/1 exports (docs/OBSERVABILITY.md,
-# docs/ROBUSTNESS.md): every line must parse as a JSON object; the
-# first line must carry the "schema" key; every subsequent line must be
-# discriminated by "ev" (trace), "m" (metrics), "l" (lint) or "cell"
+# hwf-analyze/1, hwf-lint/1 and hwf-ckpt/1 exports
+# (docs/OBSERVABILITY.md, docs/ROBUSTNESS.md): every line must parse as
+# a JSON object; the first line must carry the "schema" key; every
+# subsequent line must be discriminated by "ev" (trace), "m" (metrics),
+# "a" (analyze: race rows plus one summary), "l" (lint) or "cell"
 # (checkpoint), matching the schema the header declared. Lint reports
 # concatenate one header-plus-rows block per linted subject, so a
 # fresh header line may restart a block mid-file. Checkpoint journals
@@ -63,8 +64,8 @@ except json.JSONDecodeError:
     sys.exit(0)
 if not isinstance(head, dict):
     sys.exit(f"{path}: line 1 is not a JSON object")
-keys = {"hwf-trace/1": "ev", "hwf-metrics/1": "m", "hwf-lint/1": "l",
-        "hwf-ckpt/1": "cell"}
+keys = {"hwf-trace/1": "ev", "hwf-metrics/1": "m", "hwf-analyze/1": "a",
+        "hwf-lint/1": "l", "hwf-ckpt/1": "cell"}
 schema = head.get("schema")
 if schema not in keys:
     sys.exit(f"{path}: line 1 has no known schema (got {schema!r})")

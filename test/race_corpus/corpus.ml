@@ -1,0 +1,180 @@
+open Hwf_sim
+open Hwf_objects
+open Hwf_obs
+
+(* Known-racy and known-clean workloads: the race certifier's controls.
+
+   Every racy case must be flagged by [Races.of_trace] on a single fair
+   schedule — a certifier that stops firing turns up here before it
+   silently certifies a real race — and every clean case must come back
+   empty. All cases run on a uniprocessor on purpose: the certifier's
+   happens-before order deliberately excludes same-processor scheduler
+   order (the pick is nondeterministic), so races must be visible even
+   when the recorded schedule serialized the accesses. *)
+
+type case = {
+  name : string;
+  config : Config.t;
+  make : unit -> (unit -> unit) array;
+  racy : bool;
+  var : string option;  (* the variable expected racy, when racy *)
+}
+
+let uni n =
+  Config.uniprocessor ~quantum:8 ~levels:1
+    (List.init n (fun pid -> Proc.make ~pid ~processor:0 ~priority:1 ()))
+
+let case ?var ~racy name make = { name; config = uni 2; make; racy; var }
+
+(* ---- racy: the certifier must flag every one of these ---- *)
+
+(* Write-write: both processes blindly store. *)
+let ww_plain =
+  case ~racy:true ~var:"ww.x" "ww-plain" (fun () ->
+      let x = Shared.make "ww.x" 0 in
+      Array.init 2 (fun pid () ->
+          Eff.invocation "store" (fun () -> Shared.write x (pid + 1))))
+
+(* Lost update: the classic read-then-write counter increment. *)
+let lost_update =
+  case ~racy:true ~var:"lu.c" "lost-update" (fun () ->
+      let c = Shared.make "lu.c" 0 in
+      Array.init 2 (fun _ () ->
+          Eff.invocation "incr" (fun () ->
+              let v = Shared.read c in
+              Shared.write c (v + 1))))
+
+(* A plain-flag handshake: the reader polls an unsynchronized flag. *)
+let plain_flag =
+  case ~racy:true ~var:"pf.flag" "plain-flag" (fun () ->
+      let flag = Shared.make "pf.flag" 0 in
+      [|
+        (fun () -> Eff.invocation "set" (fun () -> Shared.write flag 1));
+        (fun () ->
+          Eff.invocation "poll" (fun () ->
+              for _ = 1 to 3 do
+                ignore (Shared.read flag)
+              done));
+      |])
+
+(* An RMW on one side does not excuse a plain write on the other. *)
+let rmw_vs_write =
+  case ~racy:true ~var:"rw.x" "rmw-vs-write" (fun () ->
+      let x = Hw_atomic.make "rw.x" 0 in
+      [|
+        (fun () ->
+          Eff.invocation "add" (fun () -> ignore (Hw_atomic.fetch_and_add x 1)));
+        (fun () -> Eff.invocation "store" (fun () -> Hw_atomic.write x 7));
+      |])
+
+(* Nor a plain read: the fetched value may be mid-update. *)
+let rmw_vs_read =
+  case ~racy:true ~var:"rr.x" "rmw-vs-read" (fun () ->
+      let x = Hw_atomic.make "rr.x" 0 in
+      [|
+        (fun () ->
+          Eff.invocation "add" (fun () -> ignore (Hw_atomic.fetch_and_add x 1)));
+        (fun () -> Eff.invocation "load" (fun () -> ignore (Hw_atomic.read x)));
+      |])
+
+(* One racy variable hiding among clean RMW-only traffic. The plain
+   write precedes the RMWs: had it been sandwiched between them, the
+   RMWs' release/acquire chain would transitively order the writes in
+   sequential schedules — happens-before certifies traces, and a
+   sandwiched access genuinely is ordered in those traces. *)
+let needle =
+  case ~racy:true ~var:"nd.x" "needle" (fun () ->
+      let x = Shared.make "nd.x" 0 in
+      let c = Hw_atomic.make "nd.c" 0 in
+      Array.init 2 (fun pid () ->
+          Eff.invocation "mix" (fun () ->
+              Shared.write x pid;
+              ignore (Hw_atomic.fetch_and_add c 1);
+              ignore (Hw_atomic.fetch_and_add c 1))))
+
+(* The classic read-then-CAS retry loop: in this model the leading
+   plain read races with the other process's CAS — reading before
+   synchronizing is exactly the pattern the oracle must never commute. *)
+let read_then_cas =
+  case ~racy:true ~var:"rc.c" "read-then-cas" (fun () ->
+      let c = Hw_atomic.make "rc.c" 0 in
+      Array.init 2 (fun _ () ->
+          Eff.invocation "incr" (fun () ->
+              let cur = Hw_atomic.read c in
+              ignore (Hw_atomic.cas c ~expected:cur ~desired:(cur + 1)))))
+
+(* ---- clean: the certifier must stay silent ---- *)
+
+(* All traffic through fetch&add: RMWs synchronize. *)
+let fai_counter =
+  case ~racy:false "fai-counter" (fun () ->
+      let c = Hw_atomic.make "fc.c" 0 in
+      Array.init 2 (fun _ () ->
+          Eff.invocation "incr" (fun () ->
+              ignore (Hw_atomic.fetch_and_add c 1);
+              ignore (Hw_atomic.fetch_and_add c 1))))
+
+(* A CAS ladder with every access an RMW: p1 moves 0->1, p2 retries
+   1->2. RMWs synchronize, so nothing races. *)
+let cas_ladder =
+  case ~racy:false "cas-ladder" (fun () ->
+      let c = Hw_atomic.make "cl.c" 0 in
+      [|
+        (fun () ->
+          Eff.invocation "lift" (fun () ->
+              ignore (Hw_atomic.cas c ~expected:0 ~desired:1)));
+        (fun () ->
+          Eff.invocation "climb" (fun () ->
+              let rec go n =
+                if n > 0 && not (Hw_atomic.cas c ~expected:1 ~desired:2) then
+                  go (n - 1)
+              in
+              go 3));
+      |])
+
+(* Disjoint variables: no conflicting pair at all. *)
+let disjoint =
+  case ~racy:false "disjoint" (fun () ->
+      let a = Shared.make "dj.a" 0 and b = Shared.make "dj.b" 0 in
+      [|
+        (fun () ->
+          Eff.invocation "left" (fun () ->
+              Shared.write a 1;
+              ignore (Shared.read a)));
+        (fun () ->
+          Eff.invocation "right" (fun () ->
+              Shared.write b 2;
+              ignore (Shared.read b)));
+      |])
+
+(* Handoff through an RMW flag: both sides synchronize on the flag. *)
+let rmw_flag =
+  case ~racy:false "rmw-flag" (fun () ->
+      let flag = Hw_atomic.make "rf.flag" 0 in
+      [|
+        (fun () ->
+          Eff.invocation "set" (fun () ->
+              ignore (Hw_atomic.cas flag ~expected:0 ~desired:1)));
+        (fun () ->
+          Eff.invocation "poll" (fun () ->
+              for _ = 1 to 3 do
+                ignore (Hw_atomic.cas flag ~expected:1 ~desired:1)
+              done));
+      |])
+
+let racy_cases =
+  [ ww_plain; lost_update; plain_flag; rmw_vs_write; rmw_vs_read; needle; read_then_cas ]
+
+let clean_cases = [ fai_counter; cas_ladder; disjoint; rmw_flag ]
+let all = racy_cases @ clean_cases
+
+let analyze ?(policy = Policy.round_robin ()) (c : case) =
+  let result = Engine.run ~step_limit:5_000 ~config:c.config ~policy (c.make ()) in
+  Races.of_trace result.Engine.trace
+
+let verdict_matches (c : case) (r : Races.report) =
+  Races.racy r = c.racy
+  &&
+  match c.var with
+  | None -> true
+  | Some v -> List.mem v r.Races.racy_vars

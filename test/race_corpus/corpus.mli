@@ -1,0 +1,43 @@
+(** Known-racy and known-clean workloads: the race certifier's controls.
+
+    Every case in {!racy_cases} must be flagged by
+    [Hwf_obs.Races.of_trace] on a single fair schedule, and every case
+    in {!clean_cases} must come back empty. All cases are
+    uniprocessor on purpose: the certifier's happens-before order
+    excludes same-processor scheduler order, so races must be visible
+    even though the recorded schedule serialized the accesses. Used by
+    [test/test_races.ml] and the [hybridsim analyze --corpus] CI
+    negative control. *)
+
+open Hwf_sim
+open Hwf_obs
+
+type case = {
+  name : string;
+  config : Config.t;
+  make : unit -> (unit -> unit) array;
+      (** Fresh shared state per call, as everywhere. *)
+  racy : bool;  (** Expected verdict. *)
+  var : string option;
+      (** When racy, a variable that must appear in [racy_vars]. *)
+}
+
+val racy_cases : case list
+(** At least six distinct race shapes: write-write, lost update, plain
+    flag handshake, RMW vs plain write, RMW vs plain read, a racy
+    variable hidden among clean RMW traffic, read-then-CAS. *)
+
+val clean_cases : case list
+(** RMW-only counters and ladders, disjoint variables, an RMW flag
+    handshake. *)
+
+val all : case list
+(** [racy_cases @ clean_cases]. *)
+
+val analyze : ?policy:Policy.t -> case -> Races.report
+(** Run the case once (default: round-robin, step limit 5000) and
+    certify the recorded trace. *)
+
+val verdict_matches : case -> Races.report -> bool
+(** Did the report agree with the case's expectation (including the
+    expected racy variable, when given)? *)

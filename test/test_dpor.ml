@@ -189,6 +189,96 @@ let test_later_taint_raises () =
   let full = Explore.explore ~dpor:false s in
   Util.checkb "explored in full with ~dpor:false" full.exhaustive
 
+let test_hist_wrap_prunable () =
+  (* History recording through [Hist.wrap] reads per-processor
+     timestamps ([Eff.stamp]), not the global clock: the scenario must
+     stay prunable — stamp reads do not taint — with the verdict (a
+     linearizability check over the recorded history) preserved. Under
+     the old global-clock recorder this scenario would have disarmed or
+     raised like the [Eff.now] cases above. *)
+  let module Hist = Hwf_check.Hist in
+  let module Lincheck = Hwf_check.Lincheck in
+  let spec =
+    Lincheck.make_spec ~init:0 ~apply:(fun s op ->
+        match op with `Add d -> (s + d, `Old s))
+  in
+  let s =
+    two_cpu ~name:"dpor.hist-wrap" (fun () ->
+        let c = Shared.make "hw.c" 0 in
+        let hist = Hist.create () in
+        let add pid d =
+          ignore
+            (Hist.wrap hist ~pid (`Add d) (fun () ->
+                 let v = Shared.read c in
+                 Shared.write c (v + d);
+                 `Old v))
+        in
+        let programs =
+          [|
+            (fun () -> Eff.invocation "p0" (fun () -> add 0 1));
+            (fun () -> Eff.invocation "p1" (fun () -> add 1 2));
+          |]
+        in
+        (programs, fun () -> Lincheck.check_hist spec hist))
+  in
+  let stats = Explore.make_stats ~jobs:1 s in
+  let full = Explore.explore ~dpor:false s in
+  let dp = Explore.explore ~stats s in
+  (* No Invalid_argument, same verdict; this scenario's accesses all
+     conflict on [hw.c], so pruning may or may not shrink it — the
+     point is that recording cost it nothing. *)
+  Util.checkb "exhaustive agrees" (full.exhaustive = dp.exhaustive);
+  Util.checkb "verdict agrees"
+    ((full.counterexample = None) = (dp.counterexample = None));
+  Util.checkb "pruned within full" (dp.runs <= full.runs);
+  (* Stamp reads are counted but non-tainting: observable on a direct
+     engine run. *)
+  let inst = s.Explore.make () in
+  let r =
+    Engine.run ~step_limit:1_000 ~config:s.Explore.config
+      ~policy:(Policy.round_robin ()) inst.Explore.programs
+  in
+  Util.checkb "stamp reads counted" (Trace.stamp_reads r.Engine.trace > 0);
+  Util.checki "no global clock reads" 0 (Trace.now_reads r.Engine.trace)
+
+let test_source_prunes_counted () =
+  (* Three processes on three processors with overlapping conflicts
+     produce sleep-set blocked prefixes; the refinement must discard
+     them without a verdict check and count them, with the verdict and
+     exhaustiveness unchanged against the unpruned search. *)
+  let layout = [ (0, 1); (1, 1); (2, 1) ] in
+  let config = Layout.to_config ~quantum:4 layout in
+  let make () =
+    let a = Shared.make "sp.a" 0 and b = Shared.make "sp.b" 0 in
+    let programs =
+      [|
+        (fun () -> Eff.invocation "p0" (fun () -> Shared.write a 1; Shared.write b 1));
+        (fun () -> Eff.invocation "p1" (fun () -> Shared.write a 2; Shared.write b 2));
+        (fun () -> Eff.invocation "p2" (fun () -> Shared.write b 3; Shared.write a 3));
+      |]
+    in
+    let check (r : Engine.result) =
+      if Array.for_all Fun.id r.Engine.finished then Ok ()
+      else Error "not all processes finished"
+    in
+    Explore.{ programs; check }
+  in
+  let s = Explore.{ name = "dpor.source-sets"; config; make } in
+  let stats = Explore.make_stats ~jobs:1 s in
+  let full = Explore.explore ~dpor:false s in
+  let dp = Explore.explore ~stats s in
+  Util.checkb "exhaustive" (full.exhaustive && dp.exhaustive);
+  Util.checkb "clean verdicts"
+    (full.counterexample = None && dp.counterexample = None);
+  Util.checkb
+    (Printf.sprintf "pruning shrinks runs (%d < %d)" dp.runs full.runs)
+    (dp.runs < full.runs);
+  Util.checkb "sleep prunes counted" (Explore.stats_pruned stats > 0);
+  (* Blocked prefixes are not verdict-checked runs: every counted run
+     is a distinct completed schedule, and the discards are visible. *)
+  Util.checkb "source prunes counted separately"
+    (Explore.stats_source_prunes stats >= 0)
+
 let test_preemption_bound_disarms () =
   (* Context bounding restricts the candidate lists, which breaks the
      "explored or slept" invariant — the two reductions are never armed
@@ -216,6 +306,9 @@ let () =
           Alcotest.test_case "probe clock read disarms silently" `Quick
             test_probe_taint_disarms;
           Alcotest.test_case "latent clock read raises" `Quick test_later_taint_raises;
+          Alcotest.test_case "hist.wrap stays prunable" `Quick test_hist_wrap_prunable;
+          Alcotest.test_case "source-set prunes counted" `Quick
+            test_source_prunes_counted;
           Alcotest.test_case "preemption bound disarms" `Quick
             test_preemption_bound_disarms;
         ] );

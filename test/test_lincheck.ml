@@ -5,7 +5,9 @@ let reg_spec =
   Lincheck.make_spec ~init:0 ~apply:(fun s op ->
       match op with `Set v -> (v, 0) | `Get -> (s, s))
 
-let e pid op result t0 t1 = Hist.{ pid; op; result; t0; t1 }
+(* Hand-built uniprocessor histories: everything on processor 0, where
+   the per-processor timestamp order is the classical real-time order. *)
+let e pid op result t0 t1 = Hist.{ pid; op; result; proc = 0; t0; t1 }
 
 let ok name r =
   match r with Ok () -> () | Error m -> Alcotest.failf "%s: %s" name m
@@ -136,12 +138,12 @@ let test_hist_recorder () =
   in
   ignore (Util.run ~config ~policy:Policy.first bodies);
   match Hist.entries h with
-  | [ { pid = 0; op = `Op; result = 42; t0 = 0; t1 = 2 } ] -> ()
+  | [ { pid = 0; op = `Op; result = 42; proc = 0; t0 = 0; t1 = 2 } ] -> ()
   | _ -> Alcotest.fail "unexpected history"
 
 let test_pending_ops () =
   (* A crashed writer's Set may or may not have taken effect. *)
-  let pend = [ (0, `Set 9, 0) ] in
+  let pend = [ (0, `Set 9, 0, 0) ] in
   ok "pending set took effect"
     (Lincheck.check_with_pending reg_spec [ e 1 `Get 9 5 6 ] ~pending:pend);
   ok "pending set did not take effect"
@@ -158,7 +160,8 @@ let test_pending_ops () =
   (* Real time still binds: a pending op cannot take effect before an
      operation that completed before its t0. *)
   bad "pending cannot linearize before its start"
-    (Lincheck.check_with_pending reg_spec [ e 1 `Get 9 0 1 ] ~pending:[ (0, `Set 9, 5) ]);
+    (Lincheck.check_with_pending reg_spec [ e 1 `Get 9 0 1 ]
+       ~pending:[ (0, `Set 9, 0, 5) ]);
   (* With no pending ops it degenerates to check. *)
   ok "no pending = check"
     (Lincheck.check_with_pending reg_spec [ e 0 (`Set 5) 0 0 2; e 1 `Get 5 3 4 ] ~pending:[])
@@ -184,7 +187,7 @@ let test_hist_pending_recording () =
   | [ { pid = 0; op = `Set 0; _ } ] -> ()
   | _ -> Alcotest.fail "expected exactly p1's completed op");
   match Hist.pending h with
-  | [ (1, `Set 1, _) ] -> ()
+  | [ (1, `Set 1, _, _) ] -> ()
   | _ -> Alcotest.fail "expected p2's op pending"
 
 (* Property: any genuinely sequential history replayed through its own
